@@ -1,0 +1,28 @@
+"""Shared benchmark fixtures.
+
+Collections are generated once per session at ``small`` scale (full source
+populations, reduced object counts) so the timed regions measure the
+experiment computations, not data generation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.context import get_context
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    context = get_context("small")
+    # Force generation (and fusion-problem compilation) outside timed runs.
+    context.stock
+    context.flight
+    context.problem("stock")
+    context.problem("flight")
+    return context
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Benchmark an expensive experiment with a single round."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

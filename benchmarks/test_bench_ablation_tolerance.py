@@ -1,0 +1,61 @@
+"""Ablation: the bucketing tolerance factor alpha (Equation 3).
+
+The paper fixes alpha = .01.  This bench sweeps it and regenerates the
+dominant-value precision and the mean number of distinct values: a looser
+tolerance merges near-miss values (fewer distinct values, slightly higher
+dominant precision); a very tight one fragments honest agreement.
+"""
+
+import pytest
+from dataclasses import replace
+
+from benchmarks.conftest import run_once
+from repro.core.attributes import AttributeTable
+from repro.core.dataset import Dataset
+from repro.evaluation.metrics import evaluate
+from repro.fusion.base import FusionProblem
+from repro.fusion.registry import make_method
+from repro.profiling.consistency import consistency_profile
+
+ALPHAS = (0.001, 0.01, 0.05)
+
+
+def _with_alpha(snapshot, alpha):
+    table = AttributeTable.from_specs(
+        [replace(spec, tolerance_factor=alpha) for spec in snapshot.attributes]
+    )
+    clone = Dataset(domain=snapshot.domain, day=snapshot.day, attributes=table)
+    for meta in snapshot.sources.values():
+        clone.add_source(meta)
+    for item, source, claim in snapshot.iter_claims():
+        clone.add_claim(source, item, claim)
+    return clone.freeze()
+
+
+def _sweep(ctx):
+    rows = []
+    collection = ctx.stock
+    gold = collection.gold
+    for alpha in ALPHAS:
+        snapshot = _with_alpha(collection.snapshot, alpha)
+        vote = make_method("Vote").run(FusionProblem(snapshot))
+        rows.append(
+            (
+                alpha,
+                consistency_profile(snapshot).mean_num_values,
+                evaluate(snapshot, gold, vote).precision,
+            )
+        )
+    return rows
+
+
+def test_bench_ablation_tolerance(benchmark, ctx):
+    rows = run_once(benchmark, _sweep, ctx)
+    num_values = [nv for _a, nv, _p in rows]
+    # Looser tolerance merges buckets monotonically.
+    assert num_values[0] >= num_values[1] >= num_values[2]
+    for _alpha, _nv, precision in rows:
+        assert 0.7 < precision <= 1.0
+    print("\nalpha  mean#values  vote-precision")
+    for alpha, nv, precision in rows:
+        print(f"{alpha:<6} {nv:<12.2f} {precision:.3f}")

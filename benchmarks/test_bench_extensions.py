@@ -1,0 +1,61 @@
+"""Bench: the Section 5 extensions (seeding, selection, ensemble, category).
+
+Not a paper artifact — these implement the paper's "future research
+directions" and are benchmarked for regression tracking: each extension must
+at least not hurt the corresponding baseline.
+"""
+
+from benchmarks.conftest import run_once
+from repro.evaluation.metrics import evaluate
+from repro.evaluation.selection import recall_prefix_selection
+from repro.fusion.ensemble import ensemble_vote
+from repro.fusion.extensions import AccuCategory
+from repro.fusion.registry import make_method
+from repro.fusion.seeding import consistent_item_seed
+
+
+def _sweep(ctx):
+    out = {}
+    for domain in ("stock", "flight"):
+        collection = ctx.collection(domain)
+        snapshot, gold = collection.snapshot, collection.gold
+        problem = ctx.problem(domain)
+
+        def precision(result):
+            return evaluate(snapshot, gold, result).precision
+
+        baseline = precision(make_method("AccuPr").run(problem))
+        seeded = precision(
+            make_method("AccuPr").run(
+                problem, trust_seed=consistent_item_seed(problem)
+            )
+        )
+        category = precision(AccuCategory().run(problem))
+        members = [
+            make_method(n).run(problem)
+            for n in ("Vote", "AccuSim", "PopAccu", "AccuCopy")
+        ]
+        ensemble = precision(ensemble_vote(snapshot, members))
+        selection = recall_prefix_selection(snapshot, gold, max_prefix=12)
+        out[domain] = {
+            "AccuPr": baseline,
+            "AccuPr+seed": seeded,
+            "AccuCategory": category,
+            "Ensemble": ensemble,
+            "selected-recall": selection.recall,
+            "all-sources-recall": selection.all_sources_recall,
+        }
+    return out
+
+
+def test_bench_extensions(benchmark, ctx):
+    rows = run_once(benchmark, _sweep, ctx)
+    for domain, scores in rows.items():
+        # Consistent-item seeding must not hurt the Bayesian baseline much.
+        assert scores["AccuPr+seed"] >= scores["AccuPr"] - 0.03, domain
+        # Source selection reproduces "less is more": a small prefix is at
+        # least as good as fusing everything.
+        assert scores["selected-recall"] >= scores["all-sources-recall"] - 0.01
+    print("\ndomain  " + "  ".join(rows["stock"].keys()))
+    for domain, scores in rows.items():
+        print(f"{domain:<7} " + "  ".join(f"{v:.3f}" for v in scores.values()))

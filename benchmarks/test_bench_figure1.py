@@ -1,0 +1,12 @@
+"""Bench: regenerate Figure 1 (attribute coverage, Zipf shape)."""
+
+from repro.experiments import figure1
+
+
+def test_bench_figure1(benchmark, ctx):
+    result = benchmark(figure1.run, ctx)
+    for domain, series in result.series.items():
+        assert all(a >= b for a, b in zip(series, series[1:])), domain
+    # Paper: the overwhelming majority of attributes are sparsely provided.
+    assert result.below_quarter["stock"] > 0.5
+    print("\n" + figure1.render(result))

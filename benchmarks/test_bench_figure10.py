@@ -1,0 +1,13 @@
+"""Bench: regenerate Figure 10 (precision vs dominance factor)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figure10
+
+
+def test_bench_figure10(benchmark, ctx):
+    result = run_once(benchmark, figure10.run, ctx)
+    # Paper: the advanced method's gains concentrate on low-dominance items;
+    # overall it at least matches VOTE on Flight.
+    overall = result.overall["flight"]
+    assert overall["AccuCopy"] >= overall["Vote"]
+    print("\n" + figure10.render(result))

@@ -1,0 +1,15 @@
+"""Bench: regenerate Figure 11 (error analysis of the best method)."""
+
+from benchmarks.conftest import run_once
+from repro.evaluation.errors import ERROR_CATEGORIES
+from repro.experiments import figure11
+
+
+def test_bench_figure11(benchmark, ctx):
+    result = run_once(benchmark, figure11.run, ctx)
+    for domain, analysis in result.analyses.items():
+        shares = analysis.shares()
+        assert set(shares) <= set(ERROR_CATEGORIES) | set(shares)
+        total = sum(shares.values())
+        assert total == 0.0 or abs(total - 1.0) < 1e-9
+    print("\n" + figure11.render(result))

@@ -1,0 +1,20 @@
+"""Bench: regenerate Figure 12 (precision vs efficiency)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figure12
+
+
+def test_bench_figure12(benchmark, ctx):
+    result = run_once(benchmark, figure12.run, ctx)
+    for domain in ("stock", "flight"):
+        points = {p.method: p for p in result.points[domain]}
+        # Paper: VOTE is the fastest method; ACCUCOPY pays for copy
+        # detection; the ATTR variants cost more than their base methods.
+        assert points["Vote"].runtime_seconds == min(
+            p.runtime_seconds for p in result.points[domain]
+        )
+        assert (
+            points["AccuCopy"].runtime_seconds
+            > points["AccuPr"].runtime_seconds
+        )
+    print("\n" + figure12.render(result))

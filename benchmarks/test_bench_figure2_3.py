@@ -1,0 +1,11 @@
+"""Bench: regenerate Figures 2-3 (object / data-item redundancy CCDFs)."""
+
+from repro.experiments import figure2_3
+
+
+def test_bench_figure2_3(benchmark, ctx):
+    result = benchmark(figure2_3.run, ctx)
+    # Paper: Stock ~.66 mean item redundancy, Flight ~.32 — Stock higher.
+    assert result.mean_item["stock"] > result.mean_item["flight"]
+    assert result.mean_object["stock"] > 0.8  # nearly all sources cover stocks
+    print("\n" + figure2_3.render(result))

@@ -1,0 +1,13 @@
+"""Bench: regenerate Figure 4 (inconsistency distributions)."""
+
+from repro.experiments import figure4
+
+
+def test_bench_figure4(benchmark, ctx):
+    result = benchmark(figure4.run, ctx)
+    # Paper: Flight items are far more often single-valued than Stock items.
+    assert (
+        result.single_value_share["flight"] > result.single_value_share["stock"]
+    )
+    assert result.avg_num_values["stock"] > result.avg_num_values["flight"]
+    print("\n" + figure4.render(result))

@@ -1,0 +1,15 @@
+"""Bench: regenerate Figure 6 (reasons for inconsistency)."""
+
+from repro.core.records import ErrorReason
+from repro.experiments import figure6
+
+
+def test_bench_figure6(benchmark, ctx):
+    result = benchmark(figure6.run, ctx)
+    stock = result.full_shares["stock"]
+    flight = result.full_shares["flight"]
+    # Paper: semantics ambiguity dominates Stock; pure errors lead Flight.
+    assert stock[ErrorReason.SEMANTICS_AMBIGUITY] == max(stock.values())
+    assert flight.get(ErrorReason.PURE_ERROR, 0.0) > 0.25
+    assert ErrorReason.UNIT_ERROR not in flight
+    print("\n" + figure6.render(result))

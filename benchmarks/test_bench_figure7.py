@@ -1,0 +1,13 @@
+"""Bench: regenerate Figure 7 (dominance factors and their precision)."""
+
+from repro.experiments import figure7
+
+
+def test_bench_figure7(benchmark, ctx):
+    result = benchmark(figure7.run, ctx)
+    for domain in ("stock", "flight"):
+        curve = result.precision[domain]
+        top = curve[-1]
+        assert top is not None and top > 0.9  # high dominance => correct
+        assert 0.8 < result.overall_precision[domain] <= 1.0
+    print("\n" + figure7.render(result))

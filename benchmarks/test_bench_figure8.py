@@ -1,0 +1,16 @@
+"""Bench: regenerate Figure 8 (source accuracy and stability over time)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figure8
+
+
+def test_bench_figure8(benchmark, ctx):
+    result = run_once(benchmark, figure8.run, ctx)
+    # Paper: mean accuracy ~.86 stock / ~.80 flight; most sources steady.
+    assert 0.7 < result.mean_accuracy["stock"] <= 1.0
+    assert 0.6 < result.mean_accuracy["flight"] <= 1.0
+    assert result.steady_share["stock"] > 0.5
+    assert result.steady_share["flight"] > 0.5
+    for domain, series in result.dominant_over_time.items():
+        assert all(0.7 <= v <= 1.0 for v in series.values()), domain
+    print("\n" + figure8.render(result))

@@ -1,0 +1,15 @@
+"""Bench: regenerate Figure 9 (recall as sources are added)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figure9
+
+
+def test_bench_figure9(benchmark, ctx):
+    result = run_once(benchmark, figure9.run, ctx, prefix_step=10)
+    for domain in ("stock", "flight"):
+        vote = result.curves[domain]["Vote"]
+        # Paper: fusing a few high-recall sources beats fusing everything
+        # (recall peaks early, then declines for VOTE).
+        assert vote.peak_recall >= vote.final
+        assert vote.peak_recall > 0.85
+    print("\n" + figure9.render(result))

@@ -1,0 +1,13 @@
+"""Bench: regenerate Table 1 (collection overview)."""
+
+from repro.experiments import table1
+
+
+def test_bench_table1(benchmark, ctx):
+    result = benchmark(table1.run, ctx)
+    by_domain = {r.domain: r for r in result.rows}
+    assert by_domain["stock"].num_sources == 55
+    assert by_domain["flight"].num_sources == 38
+    assert by_domain["stock"].considered_attrs == 16
+    assert by_domain["flight"].considered_attrs == 6
+    print("\n" + table1.render(result))

@@ -1,0 +1,18 @@
+"""Bench: regenerate Table 3 (per-attribute value inconsistency)."""
+
+from repro.experiments import table3
+
+
+def test_bench_table3(benchmark, ctx):
+    result = benchmark(table3.run, ctx)
+    # Paper: real-time attributes are the most consistent; statistical ones
+    # (P/E, Volume, EPS...) the least.
+    lows, highs = result.rankings["stock"]["num_values"]
+    low_names = {a for a, _v in lows}
+    high_names = {a for a, _v in highs}
+    assert low_names & {"Previous close", "Last price", "Open price",
+                        "Today's high price", "Today's low price",
+                        "Today's change ($)", "Today's change (%)"}
+    assert high_names & {"P/E", "Volume", "EPS", "Market cap", "Yield",
+                         "Shares outstanding", "Dividend"}
+    print("\n" + table3.render(result))

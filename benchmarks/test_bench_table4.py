@@ -1,0 +1,14 @@
+"""Bench: regenerate Table 4 (authority accuracy and coverage)."""
+
+from repro.experiments import table4
+
+
+def test_bench_table4(benchmark, ctx):
+    result = benchmark(table4.run, ctx)
+    rows = {r.source: r for r in result.rows}
+    # Paper: authorities are accurate but imperfect and not fully covering.
+    for name in ("Google Finance", "Yahoo! Finance", "NASDAQ", "MSN Money"):
+        assert rows[name].accuracy is not None and rows[name].accuracy > 0.85
+    assert rows["Bloomberg"].accuracy < rows["Google Finance"].accuracy
+    assert rows["Airport average"].coverage < 0.3
+    print("\n" + table4.render(result))

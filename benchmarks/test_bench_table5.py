@@ -1,0 +1,19 @@
+"""Bench: regenerate Table 5 (copying groups and copier-removal effect)."""
+
+from repro.experiments import table5
+
+
+def test_bench_table5(benchmark, ctx):
+    result = benchmark(table5.run, ctx)
+    assert [g.size for g in result.groups["stock"]] == [11, 2]
+    assert [g.size for g in result.groups["flight"]] == [5, 4, 3, 2, 2]
+    for domain, groups in result.groups.items():
+        for group in groups:
+            assert group.value_similarity > 0.95  # paper: .99-1.0
+    # Paper: removing copiers raises dominant-value precision (Flight
+    # strongly, Stock mildly).
+    assert (
+        result.vote_without_copiers["flight"]
+        > result.vote_with_copiers["flight"]
+    )
+    print("\n" + table5.render(result))

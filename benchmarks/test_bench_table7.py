@@ -1,0 +1,23 @@
+"""Bench: regenerate Table 7 (fusion precision with/without input trust)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table7
+
+
+def test_bench_table7(benchmark, ctx):
+    result = run_once(benchmark, table7.run, ctx)
+    assert len(result.rows) == 32  # 16 methods x 2 domains
+    # Paper headline shapes:
+    # - the best Flight method is copy-aware and clearly beats VOTE;
+    flight_vote = result.row("flight", "Vote").precision_without_trust
+    flight_copy = result.row("flight", "AccuCopy").precision_without_trust
+    assert flight_copy > flight_vote
+    # - on Stock the per-attribute Bayesian variants are at the top;
+    stock_vote = result.row("stock", "Vote").precision_without_trust
+    stock_attr = result.row("stock", "AccuFormatAttr").precision_without_trust
+    assert stock_attr >= stock_vote
+    # - seeding with sampled trust never hurts the ACCU family much.
+    for domain in ("stock", "flight"):
+        row = result.row(domain, "AccuCopy")
+        assert row.precision_with_trust >= row.precision_without_trust - 0.02
+    print("\n" + table7.render(result))

@@ -1,0 +1,16 @@
+"""Bench: regenerate Table 8 (method-pair fixed/new errors)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table8
+
+
+def test_bench_table8(benchmark, ctx):
+    result = run_once(benchmark, table8.run, ctx)
+    for domain, rows in result.comparisons.items():
+        assert len(rows) == 9
+        for row in rows:
+            assert row.fixed_errors >= 0 and row.new_errors >= 0
+    # Paper: AccuCopy strongly improves AccuFormatAttr on Flight.
+    flight = {(r.basic, r.advanced): r for r in result.comparisons["flight"]}
+    assert flight[("AccuFormatAttr", "AccuCopy")].precision_delta > 0
+    print("\n" + table8.render(result))

@@ -1,0 +1,16 @@
+"""Bench: regenerate Table 9 (precision over the observation period)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table9
+
+
+def test_bench_table9(benchmark, ctx):
+    result = run_once(benchmark, table9.run, ctx, max_days=3)
+    for domain in ("stock", "flight"):
+        for method, series in result.series[domain].items():
+            assert series.minimum <= series.average <= 1.0
+            assert series.deviation >= 0.0
+    # Paper: AccuCopy's Flight average tops the table.
+    flight = result.series["flight"]
+    assert flight["AccuCopy"].average >= flight["Vote"].average
+    print("\n" + table9.render(result))

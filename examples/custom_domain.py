@@ -1,0 +1,105 @@
+"""Truth discovery on your own data: a hand-built 'weather' domain.
+
+The library is not tied to the paper's two collections — any set of
+(source, object, attribute, value) claims can be fused.  This example builds
+a small weather-observation domain from scratch with the core API, defines
+authority sources for a gold standard, and runs the full method suite.
+
+Run with::
+
+    python examples/custom_domain.py
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    AttributeSpec,
+    AttributeTable,
+    Claim,
+    DataItem,
+    Dataset,
+    SourceMeta,
+    ValueKind,
+    build_gold_standard,
+)
+from repro.evaluation import evaluate
+from repro.fusion import METHOD_NAMES, FusionProblem, make_method
+
+CITIES = ("Springfield", "Riverton", "Lakeside", "Hillview", "Baytown")
+
+#: (source, quality): per-city temperature offsets a sloppy site applies.
+STATIONS = {
+    "weather_gov": 0.0,     # authority
+    "meteo_hub": 0.0,       # authority
+    "city_portal": 0.0,     # authority
+    "tv_station": 0.3,
+    "blog_a": -0.4,
+    "blog_b": 2.5,          # systematically reports in the wrong unit-ish
+    "mirror_of_blog_b": 2.5,
+}
+
+TRUTH = {
+    ("Springfield", "temperature"): 21.4,
+    ("Riverton", "temperature"): 18.9,
+    ("Lakeside", "temperature"): 24.2,
+    ("Hillview", "temperature"): 16.3,
+    ("Baytown", "temperature"): 27.8,
+    ("Springfield", "condition"): "cloudy",
+    ("Riverton", "condition"): "rain",
+    ("Lakeside", "condition"): "sunny",
+    ("Hillview", "condition"): "fog",
+    ("Baytown", "condition"): "sunny",
+}
+
+WRONG_CONDITIONS = {"blog_b": "sunny", "mirror_of_blog_b": "sunny"}
+
+
+def build_weather_dataset() -> Dataset:
+    attributes = AttributeTable.from_specs([
+        AttributeSpec("temperature", ValueKind.NUMERIC, tolerance_factor=0.02),
+        AttributeSpec("condition", ValueKind.STRING),
+    ])
+    dataset = Dataset(domain="weather", day="2026-06-11", attributes=attributes)
+    for source_id in STATIONS:
+        dataset.add_source(
+            SourceMeta(source_id, is_authority=source_id.endswith(("gov", "hub", "portal")))
+        )
+    for source_id, offset in STATIONS.items():
+        for city in CITIES:
+            temperature = TRUTH[(city, "temperature")] + offset
+            dataset.add_claim(
+                source_id,
+                DataItem(city, "temperature"),
+                Claim(round(temperature, 1)),
+            )
+            condition = WRONG_CONDITIONS.get(source_id, TRUTH[(city, "condition")])
+            dataset.add_claim(
+                source_id, DataItem(city, "condition"), Claim(condition)
+            )
+    return dataset.freeze()
+
+
+def main() -> None:
+    dataset = build_weather_dataset()
+    print(f"Built {dataset!r}")
+
+    # Gold standard: vote among the three authority feeds.
+    gold = build_gold_standard(dataset, CITIES, min_providers=2)
+    print(f"Gold standard covers {len(gold)} items\n")
+
+    problem = FusionProblem(dataset)
+    print(f"{'method':<16} precision")
+    print("-" * 27)
+    for name in METHOD_NAMES:
+        result = make_method(name).run(problem)
+        score = evaluate(dataset, gold, result)
+        print(f"{name:<16} {score.precision:>9.3f}")
+
+    print(
+        "\nEvery method consumes the same compiled FusionProblem; to plug in"
+        "\nyour own domain you only need Dataset + AttributeSpec + claims."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Copy detection on the Flight domain (Sections 3.4 and 4.2).
+
+Detects copying groups among the 38 simulated flight sources, compares them
+with the ground truth, and shows how much copy-aware fusion (ACCUCOPY) gains
+over majority voting — the paper's headline Flight result.
+
+Run with::
+
+    python examples/flight_copy_hunt.py
+"""
+
+from __future__ import annotations
+
+from repro.copying import detect_copying
+from repro.copying.detection import selection_accuracy
+from repro.datagen import FlightConfig, generate_flight_collection
+from repro.evaluation import evaluate
+from repro.fusion import AccuCopy, FusionProblem, make_method
+from repro.profiling import all_copy_group_stats
+
+
+def main() -> None:
+    collection = generate_flight_collection(FlightConfig.small())
+    snapshot, gold = collection.snapshot, collection.gold
+    problem = FusionProblem(snapshot)
+    print(f"Hunting copiers in {snapshot!r}\n")
+
+    # 1. Detect copying from the claim matrix alone (no ground truth).
+    selected = problem.argmax_per_item(problem.cluster_support.astype(float))
+    detection = detect_copying(
+        problem, selected, selection_accuracy(problem, selected), min_overlap=15
+    )
+    detected = detection.groups()
+    print("Detected dependence groups:")
+    for group in detected:
+        print(f"  {group}")
+    print("\nGround-truth copy groups (from the simulator):")
+    for group in collection.true_copy_groups():
+        print(f"  {group}")
+
+    # 2. Table 5-style commonality stats for the true groups.
+    print("\nGroup commonality (schema / objects / values / accuracy):")
+    for stats in all_copy_group_stats(
+        snapshot, collection.true_copy_groups(), gold
+    ):
+        accuracy = "-" if stats.average_accuracy is None else f"{stats.average_accuracy:.2f}"
+        print(
+            f"  size {stats.size}: {stats.schema_similarity:.2f} / "
+            f"{stats.object_similarity:.2f} / {stats.value_similarity:.2f} / "
+            f"{accuracy}"
+        )
+
+    # 3. What copy-awareness buys at fusion time.
+    vote = evaluate(snapshot, gold, make_method("Vote").run(problem))
+    accucopy = evaluate(snapshot, gold, make_method("AccuCopy").run(problem))
+    informed = evaluate(
+        snapshot,
+        gold,
+        AccuCopy(known_groups=collection.true_copy_groups()).run(problem),
+    )
+    print("\nFusion precision:")
+    print(f"  Vote                      {vote.precision:.3f}")
+    print(f"  AccuCopy (detected)       {accucopy.precision:.3f}")
+    print(f"  AccuCopy (known copying)  {informed.precision:.3f}")
+    print(
+        "\nLow-accuracy copiers make wrong values dominant; discounting"
+        "\ntheir votes recovers them (Section 4.2 of the paper)."
+    )
+
+
+if __name__ == "__main__":
+    main()

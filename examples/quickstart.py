@@ -1,0 +1,55 @@
+"""Quickstart: generate a Deep-Web collection, fuse it, score the methods.
+
+Generates a small Stock collection (55 simulated sources), runs a handful of
+fusion methods on the report-day snapshot, and prints each method's precision
+against the authority-voted gold standard — a two-minute tour of the paper's
+Section 4 experiment.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.datagen import StockConfig, generate_stock_collection
+from repro.evaluation import evaluate
+from repro.fusion import FusionProblem, make_method
+
+METHODS = ("Vote", "TruthFinder", "AccuPr", "PopAccu", "AccuFormatAttr", "AccuCopy")
+
+
+def main() -> None:
+    print("Generating the Stock collection (55 sources)...")
+    collection = generate_stock_collection(StockConfig.small())
+    snapshot = collection.snapshot
+    gold = collection.gold
+    print(
+        f"  snapshot {snapshot.day}: {snapshot.num_sources} sources, "
+        f"{snapshot.num_objects} symbols, {snapshot.num_claims} claims, "
+        f"{len(gold)} gold items\n"
+    )
+
+    # Compile the snapshot once; every method runs off the same problem.
+    problem = FusionProblem(snapshot)
+
+    print(f"{'method':<16} {'precision':>9} {'rounds':>7} {'seconds':>8}")
+    print("-" * 44)
+    for name in METHODS:
+        result = make_method(name).run(problem)
+        score = evaluate(snapshot, gold, result)
+        print(
+            f"{name:<16} {score.precision:>9.3f} {result.rounds:>7} "
+            f"{result.runtime_seconds:>8.3f}"
+        )
+
+    print(
+        "\nThe baseline VOTE takes the most-provided value; the advanced"
+        "\nmethods weight votes by iteratively-estimated source trust"
+        "\n(per attribute for AccuFormatAttr) and discount copied votes"
+        "\n(AccuCopy) — Section 4 of the paper."
+    )
+
+
+if __name__ == "__main__":
+    main()

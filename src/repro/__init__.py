@@ -1,0 +1,78 @@
+"""repro — a reproduction of "Truth Finding on the Deep Web: Is the Problem
+Solved?" (Li et al., VLDB 2012).
+
+The package is organized by subsystem:
+
+* :mod:`repro.core` — the data model: attributes, claims, datasets,
+  tolerance bucketing, gold standards;
+* :mod:`repro.normalize` — value/time/string parsing and schema matching;
+* :mod:`repro.datagen` — the Deep-Web simulator (Stock and Flight domains);
+* :mod:`repro.profiling` — every data-quality measure of Section 3;
+* :mod:`repro.fusion` — the sixteen fusion methods of Section 4;
+* :mod:`repro.copying` — Bayesian copy detection;
+* :mod:`repro.evaluation` — precision/recall, comparisons, error analysis;
+* :mod:`repro.experiments` — one module per table/figure of the paper.
+
+Quickstart::
+
+    from repro.datagen import generate_stock_collection, StockConfig
+    from repro.fusion import make_method
+    from repro.evaluation import evaluate
+
+    collection = generate_stock_collection(StockConfig.small())
+    result = make_method("AccuSim").run(collection.snapshot)
+    print(evaluate(collection.snapshot, collection.gold, result))
+"""
+
+from repro.core import (
+    AttributeSpec,
+    AttributeTable,
+    Claim,
+    DataItem,
+    Dataset,
+    DatasetSeries,
+    ErrorReason,
+    GoldStandard,
+    SourceCategory,
+    SourceMeta,
+    ValueKind,
+    build_gold_standard,
+)
+from repro.datagen import (
+    DomainCollection,
+    FlightConfig,
+    StockConfig,
+    generate_flight_collection,
+    generate_stock_collection,
+)
+from repro.errors import (
+    ConfigError,
+    ConvergenceError,
+    FusionError,
+    GoldStandardError,
+    ReproError,
+    SchemaError,
+    ValueParseError,
+)
+from repro.evaluation import evaluate
+from repro.fusion import (
+    METHOD_NAMES,
+    FusionProblem,
+    FusionResult,
+    make_method,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttributeSpec", "AttributeTable", "Claim", "DataItem", "Dataset",
+    "DatasetSeries", "ErrorReason", "GoldStandard", "SourceCategory",
+    "SourceMeta", "ValueKind", "build_gold_standard",
+    "DomainCollection", "FlightConfig", "StockConfig",
+    "generate_flight_collection", "generate_stock_collection",
+    "ConfigError", "ConvergenceError", "FusionError", "GoldStandardError",
+    "ReproError", "SchemaError", "ValueParseError",
+    "evaluate",
+    "METHOD_NAMES", "FusionProblem", "FusionResult", "make_method",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""Copy detection between Deep-Web sources (Dong et al., VLDB 2009)."""
+
+from repro.copying.detection import (
+    DEFAULT_COPY_PROB,
+    DEFAULT_MIN_OVERLAP,
+    DEFAULT_N_FALSE,
+    DEFAULT_PRIOR,
+    CopyDetectionResult,
+    detect_copying,
+    independence_weights,
+    known_groups_matrix,
+)
+
+__all__ = [
+    "DEFAULT_COPY_PROB",
+    "DEFAULT_MIN_OVERLAP",
+    "DEFAULT_N_FALSE",
+    "DEFAULT_PRIOR",
+    "CopyDetectionResult",
+    "detect_copying",
+    "independence_weights",
+    "known_groups_matrix",
+]

@@ -1,0 +1,137 @@
+"""Attribute specifications and value kinds.
+
+The paper models each domain as a set of *objects* described by *global
+attributes* (Section 2.1).  Attributes differ in the kind of value they carry,
+which determines how values are compared:
+
+* ``NUMERIC`` — prices, volumes, ratios.  Two values match when they differ by
+  at most the attribute tolerance ``tau(A) = alpha * median(V(A))``
+  (Section 3.2, Equation 3).
+* ``PERCENT`` — numeric, but reported in percent; same tolerance rule.
+* ``TIME`` — minutes since midnight; two values match when they differ by at
+  most 10 minutes (the paper's fixed time tolerance).
+* ``STRING`` — categorical values such as gates; compared exactly after
+  normalization.
+
+``AttributeSpec`` carries everything the rest of the library needs to know
+about an attribute: its kind, tolerance parameters, and whether the attribute
+is *statistical* (derived, semantics-prone: Dividend, P/E, ...) versus
+*real-time* (Last price, Actual departure...).  The paper observes that
+statistical attributes suffer far more semantics ambiguity (Section 3.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+
+#: Default relative tolerance factor ``alpha`` from Equation (3).
+DEFAULT_TOLERANCE_FACTOR = 0.01
+
+#: Fixed tolerance for TIME attributes, in minutes (Section 3.2).
+TIME_TOLERANCE_MINUTES = 10.0
+
+
+class ValueKind(enum.Enum):
+    """The comparison semantics of an attribute's values."""
+
+    NUMERIC = "numeric"
+    PERCENT = "percent"
+    TIME = "time"
+    STRING = "string"
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether values of this kind are compared with a relative tolerance."""
+        return self in (ValueKind.NUMERIC, ValueKind.PERCENT)
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """Description of one global attribute of a domain.
+
+    Parameters
+    ----------
+    name:
+        Canonical (global) attribute name, e.g. ``"Last price"``.
+    kind:
+        The :class:`ValueKind` governing comparisons.
+    tolerance_factor:
+        ``alpha`` in Equation (3); ignored for TIME and STRING kinds.
+    statistical:
+        True for derived attributes (Dividend, P/E, EPS, Yield, 52-week
+        prices...) which the paper finds prone to semantics ambiguity.
+    unit:
+        Optional human-readable unit, used only for rendering.
+    """
+
+    name: str
+    kind: ValueKind = ValueKind.NUMERIC
+    tolerance_factor: float = DEFAULT_TOLERANCE_FACTOR
+    statistical: bool = False
+    unit: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("attribute name must be non-empty")
+        if self.tolerance_factor <= 0:
+            raise SchemaError(
+                f"tolerance_factor must be positive, got {self.tolerance_factor}"
+            )
+
+    def matches(self, a: object, b: object, tolerance: float) -> bool:
+        """Whether two provided values agree under this attribute's semantics.
+
+        ``tolerance`` is the absolute tolerance for this attribute, typically
+        obtained from :meth:`repro.core.dataset.Dataset.tolerance` which
+        implements Equation (3) over the snapshot's values.
+        """
+        if self.kind is ValueKind.STRING:
+            return a == b
+        try:
+            fa, fb = float(a), float(b)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            return a == b
+        if self.kind is ValueKind.TIME:
+            return abs(fa - fb) <= TIME_TOLERANCE_MINUTES
+        return abs(fa - fb) <= tolerance
+
+
+@dataclass
+class AttributeTable:
+    """An ordered registry of the global attributes of a domain."""
+
+    specs: dict[str, AttributeSpec] = field(default_factory=dict)
+
+    @classmethod
+    def from_specs(cls, specs: "list[AttributeSpec] | tuple[AttributeSpec, ...]") -> "AttributeTable":
+        table = cls()
+        for spec in specs:
+            table.add(spec)
+        return table
+
+    def add(self, spec: AttributeSpec) -> None:
+        if spec.name in self.specs:
+            raise SchemaError(f"duplicate attribute {spec.name!r}")
+        self.specs[spec.name] = spec
+
+    def __getitem__(self, name: str) -> AttributeSpec:
+        try:
+            return self.specs[name]
+        except KeyError:
+            raise SchemaError(f"unknown attribute {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.specs
+
+    def __iter__(self):
+        return iter(self.specs.values())
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    @property
+    def names(self) -> list[str]:
+        return list(self.specs)

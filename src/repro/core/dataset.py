@@ -1,0 +1,225 @@
+"""The central claim-matrix container: one snapshot of one domain.
+
+A :class:`Dataset` holds everything collected on one day for one domain
+(Section 2.2): source metadata, the global attribute table, and the sparse
+claim matrix ``(data item, source) -> Claim``.  It lazily computes the
+per-attribute tolerances of Equation (3) and the per-item value clusterings
+of Section 3.2, which every profiling measure and fusion method consumes.
+
+Datasets are append-only while being built (by ``repro.datagen``) and are
+treated as immutable afterwards; ``freeze()`` enforces that and enables the
+caches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.core.attributes import AttributeSpec, AttributeTable, ValueKind
+from repro.core.records import Claim, DataItem, SourceMeta, Value
+from repro.core.tolerance import ItemClustering, attribute_tolerance, cluster_claims
+from repro.errors import SchemaError
+
+
+@dataclass
+class Dataset:
+    """One snapshot (one day) of claims from every source of a domain."""
+
+    domain: str
+    day: str
+    attributes: AttributeTable
+    sources: Dict[str, SourceMeta] = field(default_factory=dict)
+
+    _by_item: Dict[DataItem, Dict[str, Claim]] = field(default_factory=dict)
+    _by_source: Dict[str, Dict[DataItem, Claim]] = field(default_factory=dict)
+    _objects: Set[str] = field(default_factory=set)
+    _frozen: bool = False
+    _tolerances: Optional[Dict[str, float]] = None
+    _clusterings: Optional[Dict[DataItem, ItemClustering]] = None
+
+    # ------------------------------------------------------------------ build
+    def add_source(self, meta: SourceMeta) -> None:
+        if self._frozen:
+            raise SchemaError("dataset is frozen")
+        if meta.source_id in self.sources:
+            raise SchemaError(f"duplicate source {meta.source_id!r}")
+        self.sources[meta.source_id] = meta
+        self._by_source.setdefault(meta.source_id, {})
+
+    def add_claim(self, source_id: str, item: DataItem, claim: Claim) -> None:
+        if self._frozen:
+            raise SchemaError("dataset is frozen")
+        if source_id not in self.sources:
+            raise SchemaError(f"unknown source {source_id!r}")
+        if item.attribute not in self.attributes:
+            raise SchemaError(f"unknown attribute {item.attribute!r}")
+        self._by_item.setdefault(item, {})[source_id] = claim
+        self._by_source[source_id][item] = claim
+        self._objects.add(item.object_id)
+
+    def freeze(self) -> "Dataset":
+        self._frozen = True
+        return self
+
+    # ------------------------------------------------------------------ views
+    @property
+    def source_ids(self) -> List[str]:
+        return list(self.sources)
+
+    @property
+    def num_sources(self) -> int:
+        return len(self.sources)
+
+    @property
+    def objects(self) -> Set[str]:
+        return self._objects
+
+    @property
+    def num_objects(self) -> int:
+        return len(self._objects)
+
+    @property
+    def items(self) -> Iterable[DataItem]:
+        return self._by_item.keys()
+
+    @property
+    def num_items(self) -> int:
+        return len(self._by_item)
+
+    @property
+    def num_claims(self) -> int:
+        return sum(len(claims) for claims in self._by_item.values())
+
+    def claims_on(self, item: DataItem) -> Dict[str, Claim]:
+        """All claims on one data item, keyed by source id."""
+        return self._by_item.get(item, {})
+
+    def claims_by(self, source_id: str) -> Dict[DataItem, Claim]:
+        """All claims provided by one source."""
+        if source_id not in self.sources:
+            raise SchemaError(f"unknown source {source_id!r}")
+        return self._by_source[source_id]
+
+    def value_of(self, source_id: str, item: DataItem) -> Optional[Value]:
+        claim = self._by_item.get(item, {}).get(source_id)
+        return claim.value if claim is not None else None
+
+    def providers_of(self, item: DataItem) -> List[str]:
+        return list(self._by_item.get(item, {}))
+
+    def spec(self, attribute: str) -> AttributeSpec:
+        return self.attributes[attribute]
+
+    def iter_claims(self) -> Iterator[Tuple[DataItem, str, Claim]]:
+        for item, claims in self._by_item.items():
+            for source_id, claim in claims.items():
+                yield item, source_id, claim
+
+    # --------------------------------------------------------------- derived
+    def tolerance(self, attribute: str) -> float:
+        """Absolute tolerance ``tau(A)`` for an attribute (Equation 3)."""
+        if self._tolerances is None:
+            self._tolerances = self._compute_tolerances()
+        if attribute not in self.attributes:
+            raise SchemaError(f"unknown attribute {attribute!r}")
+        return self._tolerances.get(attribute, 0.0)
+
+    def _compute_tolerances(self) -> Dict[str, float]:
+        values_by_attr: Dict[str, List[float]] = {}
+        for item, claims in self._by_item.items():
+            spec = self.attributes[item.attribute]
+            if not (spec.kind.is_numeric):
+                continue
+            bucket = values_by_attr.setdefault(item.attribute, [])
+            for claim in claims.values():
+                try:
+                    bucket.append(float(claim.value))  # type: ignore[arg-type]
+                except (TypeError, ValueError):
+                    continue
+        tolerances: Dict[str, float] = {}
+        for spec in self.attributes:
+            tolerances[spec.name] = attribute_tolerance(
+                spec, values_by_attr.get(spec.name, [])
+            )
+        return tolerances
+
+    def clustering(self, item: DataItem) -> ItemClustering:
+        """The bucketed value clustering of one item (cached once frozen)."""
+        if self._clusterings is None:
+            self._clusterings = {}
+        cached = self._clusterings.get(item)
+        if cached is not None:
+            return cached
+        spec = self.attributes[item.attribute]
+        clustering = cluster_claims(
+            self.claims_on(item), spec, self.tolerance(item.attribute)
+        )
+        if self._frozen:
+            self._clusterings[item] = clustering
+        return clustering
+
+    def values_match(self, attribute: str, a: Value, b: Value) -> bool:
+        """Tolerance-aware equality of two values of one attribute."""
+        spec = self.attributes[attribute]
+        return spec.matches(a, b, self.tolerance(attribute))
+
+    # ------------------------------------------------------------ mutation-ish
+    def without_sources(self, excluded: Iterable[str]) -> "Dataset":
+        """A copy of this snapshot with some sources (e.g. copiers) removed."""
+        excluded_set = set(excluded)
+        clone = Dataset(domain=self.domain, day=self.day, attributes=self.attributes)
+        for source_id, meta in self.sources.items():
+            if source_id not in excluded_set:
+                clone.add_source(meta)
+        for item, claims in self._by_item.items():
+            for source_id, claim in claims.items():
+                if source_id not in excluded_set:
+                    clone.add_claim(source_id, item, claim)
+        return clone.freeze()
+
+    def restricted_to_sources(self, kept: Iterable[str]) -> "Dataset":
+        """A copy containing only the given sources (Figure 9 prefixes)."""
+        kept_set = set(kept)
+        excluded = [s for s in self.sources if s not in kept_set]
+        return self.without_sources(excluded)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Dataset({self.domain!r}, day={self.day!r}, sources={self.num_sources}, "
+            f"objects={self.num_objects}, items={self.num_items}, claims={self.num_claims})"
+        )
+
+
+@dataclass
+class DatasetSeries:
+    """A sequence of daily snapshots of one domain (the month of data)."""
+
+    domain: str
+    snapshots: List[Dataset] = field(default_factory=list)
+
+    def add(self, dataset: Dataset) -> None:
+        if dataset.domain != self.domain:
+            raise SchemaError(
+                f"snapshot domain {dataset.domain!r} != series domain {self.domain!r}"
+            )
+        self.snapshots.append(dataset)
+
+    @property
+    def days(self) -> List[str]:
+        return [snapshot.day for snapshot in self.snapshots]
+
+    def __iter__(self) -> Iterator[Dataset]:
+        return iter(self.snapshots)
+
+    def __len__(self) -> int:
+        return len(self.snapshots)
+
+    def __getitem__(self, index: int) -> Dataset:
+        return self.snapshots[index]
+
+    def snapshot(self, day: str) -> Dataset:
+        for candidate in self.snapshots:
+            if candidate.day == day:
+                return candidate
+        raise SchemaError(f"no snapshot for day {day!r}")

@@ -1,0 +1,168 @@
+"""Gold-standard construction and matching (Section 2.2).
+
+The paper cannot observe the real world directly, so it builds gold standards
+from trusted sources:
+
+* **Stock** — majority vote over five popular financial sites (NASDAQ,
+  Yahoo! Finance, Google Finance, MSN Money, Bloomberg) on 200 designated
+  symbols, voting only on items provided by at least three of them.
+* **Flight** — the data of the three airline websites on 100 randomly
+  selected flights (majority vote when they disagree).
+
+:func:`build_gold_standard` implements both via the same primitive: vote among
+the authority sources (the :class:`~repro.core.records.SourceMeta` entries
+flagged ``is_authority``) on the designated gold objects, requiring a minimum
+number of authority providers per item.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.core.dataset import Dataset
+from repro.core.records import Claim, DataItem, Value
+from repro.core.tolerance import cluster_claims
+from repro.errors import GoldStandardError
+
+
+@dataclass
+class GoldStandard:
+    """Truth values for a subset of data items, plus matching helpers."""
+
+    domain: str
+    values: Dict[DataItem, Value] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __contains__(self, item: DataItem) -> bool:
+        return item in self.values
+
+    def __getitem__(self, item: DataItem) -> Value:
+        return self.values[item]
+
+    @property
+    def items(self) -> Iterable[DataItem]:
+        return self.values.keys()
+
+    @property
+    def objects(self) -> Set[str]:
+        return {item.object_id for item in self.values}
+
+    def is_correct(self, dataset: Dataset, item: DataItem, value: Value) -> bool:
+        """Whether ``value`` matches the gold value under the item tolerance."""
+        truth = self.values.get(item)
+        if truth is None:
+            raise GoldStandardError(f"item {item} not in gold standard")
+        return dataset.values_match(item.attribute, value, truth)
+
+    def restrict_to(self, items: Iterable[DataItem]) -> "GoldStandard":
+        wanted = set(items)
+        return GoldStandard(
+            domain=self.domain,
+            values={i: v for i, v in self.values.items() if i in wanted},
+        )
+
+
+def build_gold_standard(
+    dataset: Dataset,
+    gold_objects: Iterable[str],
+    min_providers: int = 3,
+    authority_ids: Optional[Iterable[str]] = None,
+) -> GoldStandard:
+    """Vote among authority sources to produce a gold standard.
+
+    Parameters
+    ----------
+    dataset:
+        The snapshot to vote over.
+    gold_objects:
+        Object ids eligible for the gold standard (e.g. the 200 evaluation
+        symbols for Stock).
+    min_providers:
+        Minimum number of authority sources that must provide an item for it
+        to enter the gold standard (3 in the paper's Stock construction;
+        use 1 to accept any airline-covered flight item).
+    authority_ids:
+        Explicit authority source ids; defaults to sources flagged
+        ``is_authority`` in the dataset.
+    """
+    if authority_ids is None:
+        authorities = [s for s, m in dataset.sources.items() if m.is_authority]
+    else:
+        authorities = list(authority_ids)
+    if not authorities:
+        raise GoldStandardError("no authority sources available for voting")
+    authority_set = set(authorities)
+    object_set = set(gold_objects)
+
+    gold = GoldStandard(domain=dataset.domain)
+    for item in dataset.items:
+        if item.object_id not in object_set:
+            continue
+        claims = dataset.claims_on(item)
+        authority_claims: Dict[str, Claim] = {
+            s: c for s, c in claims.items() if s in authority_set
+        }
+        if len(authority_claims) < min_providers:
+            continue
+        spec = dataset.spec(item.attribute)
+        clustering = cluster_claims(
+            authority_claims, spec, dataset.tolerance(item.attribute)
+        )
+        gold.values[item] = clustering.dominant.representative
+    if not gold.values:
+        raise GoldStandardError(
+            "gold standard is empty; check gold_objects and authority coverage"
+        )
+    return gold
+
+
+def accuracy_of_source(
+    dataset: Dataset, gold: GoldStandard, source_id: str
+) -> Optional[float]:
+    """Source accuracy against the gold standard (Section 3.3).
+
+    The percentage of the source's provided true values among all its data
+    items appearing in the gold standard; ``None`` when the source provides
+    no gold item.
+    """
+    claims = dataset.claims_by(source_id)
+    total = 0
+    correct = 0
+    for item, claim in claims.items():
+        if item not in gold:
+            continue
+        total += 1
+        if gold.is_correct(dataset, item, claim.value):
+            correct += 1
+    if total == 0:
+        return None
+    return correct / total
+
+
+def coverage_of_source(dataset: Dataset, gold: GoldStandard, source_id: str) -> float:
+    """Item-level coverage of the gold standard by one source (Table 4)."""
+    if len(gold) == 0:
+        return 0.0
+    claims = dataset.claims_by(source_id)
+    covered = sum(1 for item in gold.items if item in claims)
+    return covered / len(gold)
+
+
+def recall_of_source(dataset: Dataset, gold: GoldStandard, source_id: str) -> float:
+    """Coverage x accuracy: the fraction of gold items the source gets right.
+
+    This is the ordering key of Figure 9 ("ordered the sources by the product
+    of coverage and accuracy (i.e., recall)").
+    """
+    claims = dataset.claims_by(source_id)
+    if len(gold) == 0:
+        return 0.0
+    correct = 0
+    for item in gold.items:
+        claim = claims.get(item)
+        if claim is not None and gold.is_correct(dataset, item, claim.value):
+            correct += 1
+    return correct / len(gold)

@@ -1,0 +1,109 @@
+"""Fundamental record types: data items, claims, sources, error reasons.
+
+A *data item* is a (object, attribute) pair (Section 2.1): "a particular
+attribute of a particular object".  A *claim* is one source's provided value
+for one data item.  Claims optionally carry provenance metadata produced by
+the Deep-Web simulator — the ground-truth *reason* a value is wrong, and the
+*granularity* a source rounded to — which the profiling and evaluation layers
+use to regenerate Figure 6 (reasons for inconsistency) and to implement
+formatting-aware fusion (ACCUFORMAT).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import NamedTuple, Optional, Union
+
+Value = Union[float, str]
+
+
+class DataItem(NamedTuple):
+    """A (object, attribute) pair, the unit of truth discovery."""
+
+    object_id: str
+    attribute: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.object_id}/{self.attribute}"
+
+
+class ErrorReason(enum.Enum):
+    """Why a provided value deviates from the truth (Figure 6 taxonomy)."""
+
+    SEMANTICS_AMBIGUITY = "semantics ambiguity"
+    INSTANCE_AMBIGUITY = "instance ambiguity"
+    OUT_OF_DATE = "out-of-date"
+    UNIT_ERROR = "unit error"
+    PURE_ERROR = "pure error"
+    COPIED = "copied"  # value taken verbatim from another source
+
+
+class SourceCategory(enum.Enum):
+    """Coarse provenance class of a Deep-Web source (Section 2.2)."""
+
+    FINANCIAL_AGGREGATOR = "financial aggregator"
+    STOCK_MARKET = "official stock market"
+    FINANCIAL_NEWS = "financial news"
+    AIRLINE = "airline"
+    AIRPORT = "airport"
+    THIRD_PARTY = "third party"
+
+
+@dataclass(frozen=True)
+class SourceMeta:
+    """Static metadata about one Deep-Web source.
+
+    ``is_authority`` marks the sources whose majority vote builds the gold
+    standard (five popular financial sites for Stock; the three airline sites
+    for Flight).  ``copies_from`` records the simulator's ground-truth copying
+    relationship (Table 5); detection code never reads it — it is used only to
+    evaluate detection and to implement the "known copying given as input"
+    mode of Table 7.
+    """
+
+    source_id: str
+    name: str = ""
+    category: SourceCategory = SourceCategory.THIRD_PARTY
+    is_authority: bool = False
+    copies_from: Optional[str] = None
+    copy_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.source_id:
+            raise ValueError("source_id must be non-empty")
+
+    @property
+    def display_name(self) -> str:
+        return self.name or self.source_id
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One source's provided value on one data item.
+
+    Parameters
+    ----------
+    value:
+        The canonical (normalized) provided value: ``float`` for numeric and
+        time kinds (time = minutes since midnight), ``str`` otherwise.
+    granularity:
+        If the source rounds this attribute (e.g. volumes to the nearest
+        million), the rounding step; ``None`` for exact values.  Drives
+        the *formatting* evidence of ACCUFORMAT (Section 4.1).
+    reason:
+        Ground-truth error tag from the simulator; ``None`` when the value is
+        correct.  Real crawled data would not carry this; it substitutes for
+        the authors' manual inspection when regenerating Figures 6 and 11.
+    """
+
+    value: Value
+    granularity: Optional[float] = None
+    reason: Optional[ErrorReason] = None
+
+    @property
+    def is_rounded(self) -> bool:
+        return self.granularity is not None
+
+    def with_reason(self, reason: Optional[ErrorReason]) -> "Claim":
+        return Claim(self.value, self.granularity, reason)

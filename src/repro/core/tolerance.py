@@ -1,0 +1,193 @@
+"""Tolerance and bucketing of provided values (Section 3.2).
+
+The paper is "fairly tolerant to slightly different values":
+
+* TIME values match within 10 minutes.
+* Numeric values of attribute ``A`` match within
+  ``tau(A) = alpha * median(V(A))`` where ``V(A)`` is every value provided for
+  ``A`` in the snapshot and ``alpha`` defaults to 0.01 (Equation 3).
+
+When measuring value distributions the paper *buckets* values around the
+dominant value ``v0`` with bucket width ``tau(A)``: buckets are the intervals
+``(v0 + (2k-1) tau/2, v0 + (2k+1) tau/2]`` for integer ``k``.  This module
+implements that bucketing and the resulting clustering of an item's claims
+into distinct values, which is the representation every downstream consumer
+(entropy, dominance, fusion) works with.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.attributes import (
+    TIME_TOLERANCE_MINUTES,
+    AttributeSpec,
+    ValueKind,
+)
+from repro.core.records import Claim, Value
+
+
+def attribute_tolerance(spec: AttributeSpec, all_values: Sequence[float]) -> float:
+    """Absolute tolerance ``tau(A)`` for one attribute (Equation 3).
+
+    ``all_values`` are all numeric values provided for the attribute across
+    the snapshot.  TIME attributes ignore them and use the fixed 10-minute
+    tolerance; STRING attributes get tolerance 0 (exact match).
+    """
+    if spec.kind is ValueKind.TIME:
+        return TIME_TOLERANCE_MINUTES
+    if spec.kind is ValueKind.STRING:
+        return 0.0
+    values = sorted(abs(float(v)) for v in all_values)
+    if not values:
+        return 0.0
+    mid = len(values) // 2
+    if len(values) % 2:
+        median = values[mid]
+    else:
+        median = 0.5 * (values[mid - 1] + values[mid])
+    return spec.tolerance_factor * median
+
+
+@dataclass
+class ValueCluster:
+    """One bucket of agreeing values on a single data item.
+
+    ``representative`` is the most-provided exact value inside the bucket
+    (ties broken toward the smaller value for determinism).  ``providers``
+    maps source id to the exact value that source provided.
+    """
+
+    representative: Value
+    providers: Dict[str, Value] = field(default_factory=dict)
+
+    @property
+    def support(self) -> int:
+        return len(self.providers)
+
+    @property
+    def source_ids(self) -> List[str]:
+        return list(self.providers)
+
+
+@dataclass
+class ItemClustering:
+    """All distinct (bucketed) values on one data item, ordered by support.
+
+    ``clusters[0]`` is the dominant value's cluster.  Ties in support are
+    broken deterministically (by representative value).
+    """
+
+    clusters: List[ValueCluster]
+
+    @property
+    def num_values(self) -> int:
+        """``|V(d)|`` — the number of distinct values after bucketing."""
+        return len(self.clusters)
+
+    @property
+    def num_providers(self) -> int:
+        """``|S(d)|`` — the number of sources providing the item."""
+        return sum(c.support for c in self.clusters)
+
+    @property
+    def dominant(self) -> ValueCluster:
+        return self.clusters[0]
+
+    @property
+    def dominance_factor(self) -> float:
+        """``F(d) = |S(d, v0)| / |S(d)|`` (Section 3.2)."""
+        total = self.num_providers
+        return self.dominant.support / total if total else 0.0
+
+    def entropy(self) -> float:
+        """Value entropy ``E(d)`` of Equation (1), in bits."""
+        total = self.num_providers
+        if total == 0:
+            return 0.0
+        ent = 0.0
+        for cluster in self.clusters:
+            p = cluster.support / total
+            if p > 0:
+                ent -= p * math.log2(p)
+        return ent
+
+    def deviation(self, kind: ValueKind) -> Optional[float]:
+        """Value deviation ``D(d)`` of Equation (2).
+
+        Relative to the dominant value for numeric kinds; absolute in minutes
+        for TIME; ``None`` for STRING kinds or when undefined (dominant value
+        is zero for a relative deviation).
+        """
+        if kind is ValueKind.STRING:
+            return None
+        try:
+            v0 = float(self.dominant.representative)  # type: ignore[arg-type]
+            values = [float(c.representative) for c in self.clusters]  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            return None
+        if kind is ValueKind.TIME:
+            sq = sum((v - v0) ** 2 for v in values)
+            return math.sqrt(sq / len(values))
+        if v0 == 0:
+            return None
+        sq = sum(((v - v0) / v0) ** 2 for v in values)
+        return math.sqrt(sq / len(values))
+
+
+def _dominant_exact_value(values: Sequence[Tuple[str, Value]]) -> Value:
+    """The exact value with the most providers (ties -> smallest)."""
+    counts: Dict[Value, int] = {}
+    for _src, val in values:
+        counts[val] = counts.get(val, 0) + 1
+    # Sort by (-count, value-as-sort-key); mixed types sort by string repr.
+    def sort_key(item: Tuple[Value, int]):
+        value, count = item
+        return (-count, str(value))
+
+    return sorted(counts.items(), key=sort_key)[0][0]
+
+
+def cluster_claims(
+    provided: Dict[str, Claim],
+    spec: AttributeSpec,
+    tolerance: float,
+) -> ItemClustering:
+    """Bucket one item's claims into distinct values (Section 3.2).
+
+    ``provided`` maps source id to :class:`Claim`.  Numeric and time values
+    are bucketed on a grid of width ``tolerance`` centered on the dominant
+    exact value ``v0``; string values cluster by exact equality.
+    """
+    pairs: List[Tuple[str, Value]] = [(s, c.value) for s, c in provided.items()]
+    if not pairs:
+        return ItemClustering(clusters=[])
+
+    if spec.kind is ValueKind.STRING or tolerance <= 0:
+        buckets: Dict[Value, Dict[str, Value]] = {}
+        for src, val in pairs:
+            buckets.setdefault(val, {})[src] = val
+        clusters = [
+            ValueCluster(representative=val, providers=members)
+            for val, members in buckets.items()
+        ]
+    else:
+        v0 = float(_dominant_exact_value(pairs))  # type: ignore[arg-type]
+        numeric_buckets: Dict[int, Dict[str, Value]] = {}
+        for src, val in pairs:
+            idx = int(math.floor((float(val) - v0) / tolerance + 0.5))  # type: ignore[arg-type]
+            numeric_buckets.setdefault(idx, {})[src] = val
+        clusters = []
+        for members in numeric_buckets.values():
+            rep = _dominant_exact_value(list(members.items()))
+            clusters.append(ValueCluster(representative=rep, providers=members))
+
+    clusters.sort(key=lambda c: (-c.support, str(c.representative)))
+    return ItemClustering(clusters=clusters)
+
+
+def values_match(a: Value, b: Value, spec: AttributeSpec, tolerance: float) -> bool:
+    """Tolerance-aware equality of two provided values."""
+    return spec.matches(a, b, tolerance)

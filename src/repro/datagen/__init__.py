@@ -1,0 +1,55 @@
+"""Deep-Web claim simulator: worlds, source profiles, domain collections."""
+
+from repro.datagen.flight import (
+    FLIGHT_ATTRIBUTES,
+    FLIGHT_DAY_LABELS,
+    FLIGHT_REPORT_DAY,
+    FlightConfig,
+    FlightWorld,
+    build_flight_profiles,
+    generate_flight_collection,
+)
+from repro.datagen.generator import (
+    ClaimGenerator,
+    DomainCollection,
+    covered_objects_for,
+    generate_series,
+    generate_snapshot,
+    rng_for,
+)
+from repro.datagen.profiles import SourceProfile
+from repro.datagen.stock import (
+    STOCK_ATTRIBUTES,
+    STOCK_DAY_LABELS,
+    STOCK_REPORT_DAY,
+    StockConfig,
+    StockWorld,
+    build_stock_profiles,
+    generate_stock_collection,
+)
+from repro.datagen.worlds import World
+
+__all__ = [
+    "FLIGHT_ATTRIBUTES",
+    "FLIGHT_DAY_LABELS",
+    "FLIGHT_REPORT_DAY",
+    "FlightConfig",
+    "FlightWorld",
+    "build_flight_profiles",
+    "generate_flight_collection",
+    "ClaimGenerator",
+    "DomainCollection",
+    "covered_objects_for",
+    "generate_series",
+    "generate_snapshot",
+    "rng_for",
+    "SourceProfile",
+    "STOCK_ATTRIBUTES",
+    "STOCK_DAY_LABELS",
+    "STOCK_REPORT_DAY",
+    "StockConfig",
+    "StockWorld",
+    "build_stock_profiles",
+    "generate_stock_collection",
+    "World",
+]

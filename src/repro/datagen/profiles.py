@@ -1,0 +1,125 @@
+"""Per-source generation profiles for the Deep-Web simulator.
+
+A :class:`SourceProfile` is everything that distinguishes one simulated
+Deep-Web source: which objects and attributes it covers, how accurate it is,
+*how* it is wrong when it is wrong (the Figure 6 error taxonomy), whether it
+systematically applies an alternative semantics on some attributes, whether it
+rounds values, whether it is stale, and whether it copies another source
+(Table 5).
+
+The profile parameters map one-to-one onto the phenomena Section 3 measures:
+
+=========================  ====================================================
+Profile field              Paper phenomenon
+=========================  ====================================================
+``object_coverage``        object redundancy (Figure 2)
+``schema``                 data-item redundancy, attribute coverage (Figs 1, 3)
+``error_rate``             source accuracy (Figure 8a)
+``error_mix``              reasons for inconsistency (Figure 6)
+``semantic_variants``      semantics ambiguity, per-attribute quality
+``instance_confusions``    instance ambiguity (terminated symbols, Volume)
+``rounding_sigfigs``       value formatting (ACCUFORMAT evidence)
+``frozen_at_day``          the stale StockSmart source
+``volatile_days``          accuracy deviation over time (Figure 8b)
+``meta.copies_from``       copying groups (Table 5, ACCUCOPY)
+=========================  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.core.records import ErrorReason, SourceMeta
+from repro.errors import ConfigError
+
+#: Error-mix keys allowed for the per-claim (non-systematic) error draw.
+_MIX_REASONS = (
+    ErrorReason.OUT_OF_DATE,
+    ErrorReason.UNIT_ERROR,
+    ErrorReason.PURE_ERROR,
+)
+
+
+@dataclass(frozen=True)
+class SourceProfile:
+    """Generation parameters of one simulated source."""
+
+    meta: SourceMeta
+    #: Considered global attributes this source provides.
+    schema: Tuple[str, ...]
+    #: Full local schema (considered + tail attributes) for Table 1 / Figure 1.
+    full_schema: Tuple[str, ...] = ()
+    #: Map global attribute -> this source's local attribute label.
+    local_names: Dict[str, str] = field(default_factory=dict)
+    #: Fraction of world objects covered (ignored if covered_objects given).
+    object_coverage: float = 1.0
+    #: Explicit covered-object set (airport sources); overrides coverage.
+    covered_objects: Optional[FrozenSet[str]] = None
+    #: Per-claim probability of a non-systematic error.
+    error_rate: float = 0.05
+    #: Relative weights of the per-claim error reasons.
+    error_mix: Dict[ErrorReason, float] = field(
+        default_factory=lambda: {
+            ErrorReason.OUT_OF_DATE: 0.4,
+            ErrorReason.PURE_ERROR: 0.6,
+        }
+    )
+    #: Attributes on which the source systematically applies a variant.
+    semantic_variants: Dict[str, str] = field(default_factory=dict)
+    #: Attributes computed on an idiosyncratic basis: value is multiplied by
+    #: this persistent factor (numeric kinds only).  Models the long tail of
+    #: per-site computation differences behind Table 3's high value counts on
+    #: statistical attributes; tagged as semantics ambiguity.
+    basis_offsets: Dict[str, float] = field(default_factory=dict)
+    #: Objects this source confuses with another entity (instance ambiguity).
+    instance_confusions: Dict[str, str] = field(default_factory=dict)
+    #: Attributes the source rounds, mapped to significant figures kept.
+    rounding_sigfigs: Dict[str, int] = field(default_factory=dict)
+    #: If set, the source stopped refreshing: reports truths of this day.
+    frozen_at_day: Optional[int] = None
+    #: Days (indices) on which error_rate is multiplied by volatile_factor.
+    volatile_days: FrozenSet[int] = frozenset()
+    volatile_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.schema:
+            raise ConfigError(f"source {self.meta.source_id} has empty schema")
+        if not 0.0 <= self.error_rate <= 1.0:
+            raise ConfigError(
+                f"error_rate must be in [0,1], got {self.error_rate}"
+            )
+        if not 0.0 <= self.object_coverage <= 1.0:
+            raise ConfigError(
+                f"object_coverage must be in [0,1], got {self.object_coverage}"
+            )
+        for reason in self.error_mix:
+            if reason not in _MIX_REASONS:
+                raise ConfigError(
+                    f"error_mix may only contain {_MIX_REASONS}, got {reason}"
+                )
+        if self.error_mix and sum(self.error_mix.values()) <= 0:
+            raise ConfigError("error_mix weights must sum to a positive value")
+
+    @property
+    def source_id(self) -> str:
+        return self.meta.source_id
+
+    @property
+    def is_copier(self) -> bool:
+        return self.meta.copies_from is not None
+
+    def error_rate_on(self, day: int) -> float:
+        """The effective per-claim error rate on a given day."""
+        rate = self.error_rate
+        if day in self.volatile_days:
+            rate = min(1.0, rate * self.volatile_factor)
+        return rate
+
+    def effective_schema(self) -> Tuple[str, ...]:
+        """Full schema if declared, else the considered schema."""
+        return self.full_schema if self.full_schema else self.schema
+
+    def local_label(self, attribute: str) -> str:
+        """The source's local spelling of a global attribute."""
+        return self.local_names.get(attribute, attribute)

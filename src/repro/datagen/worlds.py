@@ -1,0 +1,76 @@
+"""Ground-truth worlds for the Deep-Web simulator.
+
+The paper observes real Deep-Web sources; we cannot, so each domain defines a
+*world*: a deterministic ground truth ``(object, attribute, day) -> value``
+plus the alternative-semantics readings that drive the paper's dominant
+inconsistency cause (Figure 6).  A semantics *variant* is a deterministic
+function of the world — e.g. "dividend per quarter" is the annual dividend
+divided by four — so every source adopting the same variant reports the same
+(wrong-relative-to-gold) value, exactly the correlated-error structure the
+paper describes.
+
+Worlds also expose *aliases* for instance ambiguity (terminated stock symbols
+that some sources map to a different entity, Section 3.2).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional
+
+from repro.core.attributes import AttributeTable
+from repro.core.records import Value
+from repro.errors import ConfigError
+
+
+class World(abc.ABC):
+    """Deterministic ground truth for one domain."""
+
+    #: Global attribute table (both considered and tail attributes).
+    attributes: AttributeTable
+
+    @property
+    @abc.abstractmethod
+    def object_ids(self) -> List[str]:
+        """All real-world object ids (stable order)."""
+
+    @property
+    @abc.abstractmethod
+    def num_days(self) -> int:
+        """Number of observation days generated (day indices 0..num_days-1)."""
+
+    @abc.abstractmethod
+    def true_value(self, object_id: str, attribute: str, day: int) -> Value:
+        """The single true value of a data item on a given day.
+
+        ``day`` may be negative (the pre-observation period) so out-of-date
+        sources can report genuinely stale truths on day 0.
+        """
+
+    @abc.abstractmethod
+    def variant_value(
+        self, object_id: str, attribute: str, day: int, variant: str
+    ) -> Value:
+        """The value under an alternative semantics ``variant``.
+
+        Raises :class:`~repro.errors.ConfigError` for unknown variants.
+        """
+
+    @abc.abstractmethod
+    def variants_of(self, attribute: str) -> List[str]:
+        """The alternative-semantics variant ids available for an attribute."""
+
+    def alias_of(self, object_id: str) -> Optional[str]:
+        """The confusable alias of an object (instance ambiguity), if any."""
+        return None
+
+    @property
+    def aliased_objects(self) -> Dict[str, str]:
+        """All objects with a confusable alias; default none."""
+        return {}
+
+    def check_variant(self, attribute: str, variant: str) -> None:
+        if variant not in self.variants_of(attribute):
+            raise ConfigError(
+                f"attribute {attribute!r} has no semantics variant {variant!r}"
+            )

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All exceptions raised by this package derive from :class:`ReproError`, so a
+caller can catch everything library-specific with a single ``except`` clause
+while still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class SchemaError(ReproError):
+    """An attribute, source, or object reference is unknown or inconsistent."""
+
+
+class ValueParseError(ReproError):
+    """A raw value string could not be parsed for its declared kind."""
+
+
+class ConfigError(ReproError):
+    """A generator or experiment configuration is invalid."""
+
+
+class FusionError(ReproError):
+    """A fusion method was invoked on an incompatible or empty problem."""
+
+
+class ConvergenceError(FusionError):
+    """An iterative fusion method failed to converge within ``max_rounds``.
+
+    Methods only raise this when ``strict_convergence=True``; by default they
+    return the last iterate and flag ``FusionResult.converged = False``.
+    """
+
+
+class GoldStandardError(ReproError):
+    """The gold standard could not be constructed (e.g. no authority votes)."""

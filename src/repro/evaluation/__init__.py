@@ -1,0 +1,55 @@
+"""Evaluation harness: precision/recall, comparisons, time series, errors."""
+
+from repro.evaluation.compare import (
+    TABLE8_PAIRS,
+    MethodComparison,
+    compare_methods,
+)
+from repro.evaluation.efficiency import EfficiencyPoint, efficiency_profile
+from repro.evaluation.errors import (
+    ERROR_CATEGORIES,
+    ErrorAnalysis,
+    analyze_errors,
+    classify_error,
+)
+from repro.evaluation.metrics import (
+    PrecisionRecall,
+    error_items,
+    evaluate,
+    precision_by_dominance,
+)
+from repro.evaluation.selection import (
+    SelectionResult,
+    greedy_source_selection,
+    recall_prefix_selection,
+)
+from repro.evaluation.ordering import (
+    RecallCurve,
+    recall_as_sources_added,
+    sources_by_recall,
+)
+from repro.evaluation.timeseries import PrecisionSeries, precision_over_time
+
+__all__ = [
+    "TABLE8_PAIRS",
+    "MethodComparison",
+    "compare_methods",
+    "EfficiencyPoint",
+    "efficiency_profile",
+    "ERROR_CATEGORIES",
+    "ErrorAnalysis",
+    "analyze_errors",
+    "classify_error",
+    "PrecisionRecall",
+    "error_items",
+    "evaluate",
+    "precision_by_dominance",
+    "SelectionResult",
+    "greedy_source_selection",
+    "recall_prefix_selection",
+    "RecallCurve",
+    "recall_as_sources_added",
+    "sources_by_recall",
+    "PrecisionSeries",
+    "precision_over_time",
+]

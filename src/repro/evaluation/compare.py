@@ -1,0 +1,62 @@
+"""Pairwise method comparison (Section 4.2, Table 8).
+
+For each (basic, advanced) method pair the paper counts how many of the
+basic method's errors the advanced method fixes, how many new errors it
+introduces, and the net precision change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.dataset import Dataset
+from repro.core.gold import GoldStandard
+from repro.evaluation.metrics import error_items, evaluate
+from repro.fusion.base import FusionResult
+
+#: The method pairs compared in Table 8.
+TABLE8_PAIRS: Tuple[Tuple[str, str], ...] = (
+    ("Hub", "AvgLog"),
+    ("Invest", "PooledInvest"),
+    ("2-Estimates", "3-Estimates"),
+    ("TruthFinder", "AccuSim"),
+    ("AccuPr", "AccuSim"),
+    ("AccuPr", "PopAccu"),
+    ("AccuSim", "AccuSimAttr"),
+    ("AccuSimAttr", "AccuFormatAttr"),
+    ("AccuFormatAttr", "AccuCopy"),
+)
+
+
+@dataclass
+class MethodComparison:
+    """One Table 8 row: how the advanced method changes the basic one."""
+
+    basic: str
+    advanced: str
+    fixed_errors: int
+    new_errors: int
+    precision_delta: float
+
+
+def compare_methods(
+    dataset: Dataset,
+    gold: GoldStandard,
+    basic_result: FusionResult,
+    advanced_result: FusionResult,
+) -> MethodComparison:
+    """Count fixed/new errors between two fusion results (Table 8)."""
+    basic_errors = error_items(dataset, gold, basic_result)
+    advanced_errors = error_items(dataset, gold, advanced_result)
+    fixed = len(basic_errors - advanced_errors)
+    new = len(advanced_errors - basic_errors)
+    basic_precision = evaluate(dataset, gold, basic_result).precision
+    advanced_precision = evaluate(dataset, gold, advanced_result).precision
+    return MethodComparison(
+        basic=basic_result.method,
+        advanced=advanced_result.method,
+        fixed_errors=fixed,
+        new_errors=new,
+        precision_delta=advanced_precision - basic_precision,
+    )

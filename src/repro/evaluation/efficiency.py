@@ -1,0 +1,58 @@
+"""Precision versus efficiency (Section 4.2, Figure 12).
+
+Runs every method on one snapshot, recording wall-clock runtime and
+precision.  Absolute times are hardware-specific; the paper's finding is the
+*relative* ordering — VOTE sub-second, iterative methods an order of
+magnitude slower, per-attribute and copy-aware variants the slowest — which
+is asymptotic and survives the port.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.dataset import Dataset
+from repro.core.gold import GoldStandard
+from repro.evaluation.metrics import evaluate
+from repro.fusion.base import FusionProblem
+from repro.fusion.registry import make_method
+
+
+@dataclass
+class EfficiencyPoint:
+    """One Figure 12 point: a method's runtime and precision."""
+
+    method: str
+    runtime_seconds: float
+    precision: float
+    rounds: int
+
+
+def efficiency_profile(
+    dataset: Dataset,
+    gold: GoldStandard,
+    method_names: Sequence[str],
+    problem: Optional[FusionProblem] = None,
+    method_kwargs: Optional[Dict[str, dict]] = None,
+) -> List[EfficiencyPoint]:
+    """Time every method on one snapshot (problem construction excluded)."""
+    shared = problem if problem is not None else FusionProblem(dataset)
+    points: List[EfficiencyPoint] = []
+    for name in method_names:
+        kwargs = (method_kwargs or {}).get(name, {})
+        method = make_method(name, **kwargs)
+        started = time.perf_counter()
+        result = method.run(shared)
+        elapsed = time.perf_counter() - started
+        score = evaluate(dataset, gold, result)
+        points.append(
+            EfficiencyPoint(
+                method=name,
+                runtime_seconds=elapsed,
+                precision=score.precision,
+                rounds=result.rounds,
+            )
+        )
+    return points

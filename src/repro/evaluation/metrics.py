@@ -1,0 +1,99 @@
+"""Precision / recall of fusion results against a gold standard (Section 4.2).
+
+* **precision** — fraction of output values (on gold items) consistent with
+  the gold standard;
+* **recall** — fraction of gold items whose value is output *and* correct.
+  When all sources are fused every gold item is output, and recall equals
+  precision (as the paper notes).
+
+Figure 10 buckets precision by the item's dominance factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.core.dataset import Dataset
+from repro.core.gold import GoldStandard
+from repro.core.records import DataItem
+from repro.fusion.base import FusionResult
+from repro.profiling.dominance import DOMINANCE_BUCKETS, dominance_bucket
+
+
+@dataclass
+class PrecisionRecall:
+    """Precision/recall of one fusion run."""
+
+    precision: float
+    recall: float
+    num_output: int
+    num_gold: int
+    num_correct: int
+    errors: List[DataItem]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"precision={self.precision:.3f} recall={self.recall:.3f} "
+            f"({self.num_correct}/{self.num_output} output, {self.num_gold} gold)"
+        )
+
+
+def evaluate(
+    dataset: Dataset, gold: GoldStandard, result: FusionResult
+) -> PrecisionRecall:
+    """Score one fusion result against the gold standard."""
+    num_output = num_correct = 0
+    errors: List[DataItem] = []
+    for item in gold.items:
+        value = result.selected.get(item)
+        if value is None:
+            continue
+        num_output += 1
+        if gold.is_correct(dataset, item, value):
+            num_correct += 1
+        else:
+            errors.append(item)
+    num_gold = len(gold)
+    return PrecisionRecall(
+        precision=num_correct / num_output if num_output else 0.0,
+        recall=num_correct / num_gold if num_gold else 0.0,
+        num_output=num_output,
+        num_gold=num_gold,
+        num_correct=num_correct,
+        errors=errors,
+    )
+
+
+def error_items(
+    dataset: Dataset, gold: GoldStandard, result: FusionResult
+) -> Set[DataItem]:
+    """Gold items on which the result is wrong (or missing)."""
+    wrong: Set[DataItem] = set()
+    for item in gold.items:
+        value = result.selected.get(item)
+        if value is None or not gold.is_correct(dataset, item, value):
+            wrong.add(item)
+    return wrong
+
+
+def precision_by_dominance(
+    dataset: Dataset, gold: GoldStandard, result: FusionResult
+) -> Dict[float, Optional[float]]:
+    """Figure 10: fusion precision bucketed by dominance factor."""
+    correct: Dict[float, int] = {b: 0 for b in DOMINANCE_BUCKETS}
+    total: Dict[float, int] = {b: 0 for b in DOMINANCE_BUCKETS}
+    for item in gold.items:
+        value = result.selected.get(item)
+        if value is None:
+            continue
+        clustering = dataset.clustering(item)
+        if not clustering.clusters:
+            continue
+        bucket = dominance_bucket(clustering.dominance_factor)
+        total[bucket] += 1
+        if gold.is_correct(dataset, item, value):
+            correct[bucket] += 1
+    return {
+        b: (correct[b] / total[b] if total[b] else None) for b in DOMINANCE_BUCKETS
+    }

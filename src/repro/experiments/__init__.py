@@ -1,0 +1,32 @@
+"""One module per table/figure of the paper, plus the CLI runner."""
+
+from repro.experiments import (  # noqa: F401
+    figure1,
+    figure2_3,
+    figure4,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    table1,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    table8,
+    table9,
+)
+from repro.experiments.context import ExperimentContext, get_context
+
+__all__ = [
+    "ExperimentContext",
+    "get_context",
+    "figure1", "figure2_3", "figure4", "figure6", "figure7", "figure8",
+    "figure9", "figure10", "figure11", "figure12",
+    "table1", "table3", "table4", "table5", "table6", "table7", "table8",
+    "table9",
+]

@@ -1,0 +1,57 @@
+"""Figure 1 — attribute coverage.
+
+Percentage of global attributes provided by more than 5/10/20/30/40/50
+sources, per domain.  The paper observes a Zipfian distribution: few popular
+attributes, a long sparse tail (over 86% of Stock attributes are provided by
+fewer than 25% of the sources).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.report import format_series
+from repro.profiling.coverage import (
+    COVERAGE_THRESHOLDS,
+    attribute_coverage,
+)
+
+#: Paper: Stock ~13.7% of attrs covered by >= 1/3 of sources; 86% by < 25%.
+PAPER_REFERENCE = {
+    "stock_below_quarter": 0.86,
+    "flight_above_half": 0.40,
+}
+
+
+@dataclass
+class Figure1Result:
+    thresholds: List[int]
+    series: Dict[str, List[float]]
+    below_quarter: Dict[str, float]
+
+
+def run(ctx: ExperimentContext) -> Figure1Result:
+    series: Dict[str, List[float]] = {}
+    below: Dict[str, float] = {}
+    for domain in ctx.domains:
+        profile = attribute_coverage(ctx.collection(domain).profiles)
+        series[domain] = profile.series()
+        below[domain] = profile.fraction_below_quarter()
+    return Figure1Result(
+        thresholds=list(COVERAGE_THRESHOLDS), series=series, below_quarter=below
+    )
+
+
+def render(result: Figure1Result) -> str:
+    body = format_series(
+        [f"> {t}" for t in result.thresholds],
+        result.series,
+        title="Figure 1: fraction of global attributes vs. provider count",
+    )
+    tail = "\n".join(
+        f"{domain}: {100 * share:.0f}% of attributes provided by < 25% of sources"
+        for domain, share in result.below_quarter.items()
+    )
+    return f"{body}\n{tail}"

@@ -1,0 +1,87 @@
+"""Figure 11 — error analysis of the best fusion method.
+
+Classifies a sample of the best method's errors per domain into the paper's
+seven causes (finer granularity, imprecise trustworthiness, missing copying
+knowledge, similar false values, false values from accurate sources,
+dominant false values, no dominant value).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.evaluation.errors import ERROR_CATEGORIES, ErrorAnalysis, analyze_errors
+from repro.experiments.context import ExperimentContext
+from repro.experiments.figure10 import BEST_METHOD
+from repro.experiments.report import format_table
+from repro.fusion.copy_aware import AccuCopy
+from repro.fusion.registry import make_method
+from repro.fusion.trust import sample_trust, sampled_accuracy
+
+PAPER_REFERENCE = {
+    "stock": {
+        "Selecting finer-granularity value": 0.20,
+        "Imprecise trustworthiness": 0.35,
+        "Not considering correct copying": 0.10,
+        'Similar "false" values are provided': 0.05,
+        '"False" value provided by high-accuracy sources': 0.05,
+        '"False" value dominant': 0.15,
+        "No one value dominant": 0.10,
+    },
+    "flight": {
+        "Imprecise trustworthiness": 0.50,
+        "Not considering correct copying": 0.10,
+        'Similar "false" values are provided': 0.05,
+        '"False" value dominant': 0.35,
+    },
+}
+
+
+@dataclass
+class Figure11Result:
+    analyses: Dict[str, ErrorAnalysis]
+
+
+def run(
+    ctx: ExperimentContext, best_method: Dict[str, str] = BEST_METHOD
+) -> Figure11Result:
+    analyses: Dict[str, ErrorAnalysis] = {}
+    for domain in ctx.domains:
+        collection = ctx.collection(domain)
+        snapshot, gold = collection.snapshot, collection.gold
+        problem = ctx.problem(domain)
+        name = best_method[domain]
+        result = make_method(name).run(problem)
+        sample = sample_trust(name, snapshot, gold) or {}
+        with_trust = make_method(name).run(
+            problem, trust_seed=sample, freeze_trust=True
+        )
+        with_copying = AccuCopy(known_groups=collection.true_copy_groups()).run(
+            problem, trust_seed=sample, freeze_trust=True
+        )
+        analyses[domain] = analyze_errors(
+            snapshot,
+            gold,
+            result,
+            result_with_trust=with_trust,
+            result_with_copying=with_copying,
+            sampled_accuracy=sampled_accuracy(snapshot, gold),
+        )
+    return Figure11Result(analyses=analyses)
+
+
+def render(result: Figure11Result) -> str:
+    rows = []
+    for domain, analysis in result.analyses.items():
+        shares = analysis.shares()
+        for category in ERROR_CATEGORIES:
+            paper = PAPER_REFERENCE.get(domain, {}).get(category)
+            rows.append(
+                (domain, analysis.method, category, shares.get(category, 0.0), paper)
+            )
+    return format_table(
+        ["Domain", "Method", "Error cause", "Share", "Paper"],
+        rows,
+        title="Figure 11: error analysis of the best fusion method",
+    )

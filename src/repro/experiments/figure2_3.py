@@ -1,0 +1,71 @@
+"""Figures 2 and 3 — object and data-item redundancy.
+
+Complementary CDFs of the fraction of sources providing each object (Fig. 2)
+and each data item (Fig. 3).  Paper headline: mean item redundancy ~.66 for
+Stock and ~.32 for Flight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.report import format_series
+from repro.profiling.redundancy import (
+    REDUNDANCY_THRESHOLDS,
+    redundancy_profile,
+)
+
+PAPER_REFERENCE = {
+    "stock_mean_item_redundancy": 0.66,
+    "flight_mean_item_redundancy": 0.32,
+}
+
+
+@dataclass
+class Figure23Result:
+    thresholds: List[float]
+    object_ccdf: Dict[str, List[float]]
+    item_ccdf: Dict[str, List[float]]
+    mean_object: Dict[str, float]
+    mean_item: Dict[str, float]
+
+
+def run(ctx: ExperimentContext) -> Figure23Result:
+    object_ccdf: Dict[str, List[float]] = {}
+    item_ccdf: Dict[str, List[float]] = {}
+    mean_object: Dict[str, float] = {}
+    mean_item: Dict[str, float] = {}
+    for domain in ctx.domains:
+        profile = redundancy_profile(ctx.collection(domain).snapshot)
+        object_ccdf[domain] = profile.object_ccdf()
+        item_ccdf[domain] = profile.item_ccdf()
+        mean_object[domain] = profile.mean_object_redundancy
+        mean_item[domain] = profile.mean_item_redundancy
+    return Figure23Result(
+        thresholds=list(REDUNDANCY_THRESHOLDS),
+        object_ccdf=object_ccdf,
+        item_ccdf=item_ccdf,
+        mean_object=mean_object,
+        mean_item=mean_item,
+    )
+
+
+def render(result: Figure23Result) -> str:
+    fig2 = format_series(
+        result.thresholds,
+        result.object_ccdf,
+        title="Figure 2: fraction of objects with redundancy above x",
+    )
+    fig3 = format_series(
+        result.thresholds,
+        result.item_ccdf,
+        title="Figure 3: fraction of data items with redundancy above x",
+    )
+    means = "\n".join(
+        f"{domain}: mean object redundancy {result.mean_object[domain]:.2f}, "
+        f"mean item redundancy {result.mean_item[domain]:.2f}"
+        for domain in result.mean_object
+    )
+    return f"{fig2}\n\n{fig3}\n{means}"

@@ -1,0 +1,77 @@
+"""Figure 4 — distributions of value inconsistency.
+
+Three panels: the number of distinct values per item, the entropy of the
+value distribution, and the deviation of numerical values (relative for
+Stock, minutes for Flight), binned as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.report import format_table
+from repro.profiling.consistency import consistency_profile
+
+PAPER_REFERENCE = {
+    "stock_single_value_share": 0.17,
+    "stock_avg_num_values": 3.7,
+    "flight_single_value_share": 0.61,
+    "flight_avg_num_values": 1.45,
+}
+
+
+@dataclass
+class Figure4Result:
+    num_values: Dict[str, Dict[str, float]]
+    entropy: Dict[str, Dict[str, float]]
+    deviation: Dict[str, Dict[str, float]]
+    single_value_share: Dict[str, float]
+    avg_num_values: Dict[str, float]
+
+
+def run(ctx: ExperimentContext) -> Figure4Result:
+    num_values: Dict[str, Dict[str, float]] = {}
+    entropy: Dict[str, Dict[str, float]] = {}
+    deviation: Dict[str, Dict[str, float]] = {}
+    single: Dict[str, float] = {}
+    avg: Dict[str, float] = {}
+    for domain in ctx.domains:
+        profile = consistency_profile(ctx.collection(domain).snapshot)
+        num_values[domain] = profile.num_values_histogram()
+        entropy[domain] = profile.entropy_histogram()
+        deviation[domain] = profile.deviation_histogram()
+        single[domain] = profile.fraction_single_value()
+        avg[domain] = profile.mean_num_values
+    return Figure4Result(
+        num_values=num_values,
+        entropy=entropy,
+        deviation=deviation,
+        single_value_share=single,
+        avg_num_values=avg,
+    )
+
+
+def _panel(title: str, data: Dict[str, Dict[str, float]]) -> str:
+    domains = list(data.keys())
+    labels = list(next(iter(data.values())).keys()) if data else []
+    rows = [
+        [label] + [data[domain].get(label, 0.0) for domain in domains]
+        for label in labels
+    ]
+    return format_table(["bin"] + domains, rows, title=title)
+
+
+def render(result: Figure4Result) -> str:
+    panels = [
+        _panel("Figure 4a: number of distinct values", result.num_values),
+        _panel("Figure 4b: entropy of values", result.entropy),
+        _panel("Figure 4c: deviation (relative / minutes-scaled)", result.deviation),
+    ]
+    summary = "\n".join(
+        f"{domain}: {100 * result.single_value_share[domain]:.0f}% single-valued, "
+        f"avg #values {result.avg_num_values[domain]:.2f}"
+        for domain in result.single_value_share
+    )
+    return "\n\n".join(panels) + "\n" + summary

@@ -1,0 +1,92 @@
+"""Figure 7 — dominant values.
+
+Distribution of dominance factors and precision of the dominant value per
+dominance bucket.  Paper headline: Stock dominants with factor > .5 are 98%
+correct but precision collapses as the factor drops; Flight shows lower
+precision even at mid factors because copied wrong values become dominant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.report import format_series
+from repro.profiling.dominance import (
+    DOMINANCE_BUCKETS,
+    dominance_profile,
+    top_k_value_precision,
+)
+
+PAPER_REFERENCE = {
+    "stock_factor_over_half": 0.73,
+    "stock_precision_over_half": 0.98,
+    "flight_factor_over_half": 0.82,
+    "flight_precision_over_half": 0.88,
+    "stock_overall_dominant_precision": 0.908,
+    "flight_overall_dominant_precision": 0.864,
+}
+
+
+@dataclass
+class Figure7Result:
+    buckets: List[float]
+    distribution: Dict[str, List[float]]
+    precision: Dict[str, List[Optional[float]]]
+    overall_precision: Dict[str, float]
+    over_half_share: Dict[str, float]
+    low_dominance_topk: Dict[str, List[float]]
+
+
+def run(ctx: ExperimentContext) -> Figure7Result:
+    distribution: Dict[str, List[float]] = {}
+    precision: Dict[str, List[Optional[float]]] = {}
+    overall: Dict[str, float] = {}
+    over_half: Dict[str, float] = {}
+    topk: Dict[str, List[float]] = {}
+    for domain in ctx.domains:
+        collection = ctx.collection(domain)
+        snapshot, gold = collection.snapshot, collection.gold
+        profile = dominance_profile(snapshot, gold)
+        dist = profile.distribution()
+        curve = profile.precision_curve()
+        distribution[domain] = [dist[b] for b in DOMINANCE_BUCKETS]
+        precision[domain] = [curve[b] for b in DOMINANCE_BUCKETS]
+        overall[domain] = profile.overall_precision()
+        over_half[domain] = profile.fraction_with_factor_at_least(0.5)
+        topk[domain] = [
+            top_k_value_precision(snapshot, gold, k, max_factor=0.3)[0]
+            for k in (1, 2, 3)
+        ]
+    return Figure7Result(
+        buckets=list(DOMINANCE_BUCKETS),
+        distribution=distribution,
+        precision=precision,
+        overall_precision=overall,
+        over_half_share=over_half,
+        low_dominance_topk=topk,
+    )
+
+
+def render(result: Figure7Result) -> str:
+    left = format_series(
+        result.buckets,
+        result.distribution,
+        title="Figure 7a: distribution of dominance factors",
+    )
+    right = format_series(
+        result.buckets,
+        result.precision,
+        title="Figure 7b: precision of dominant values by dominance factor",
+    )
+    summary_lines = []
+    for domain in result.overall_precision:
+        k1, k2, k3 = result.low_dominance_topk[domain]
+        summary_lines.append(
+            f"{domain}: overall dominant precision "
+            f"{result.overall_precision[domain]:.3f}; "
+            f"{100 * result.over_half_share[domain]:.0f}% items with factor >= .5; "
+            f"low-dominance top-1/2/3 precision {k1:.2f}/{k2:.2f}/{k3:.2f}"
+        )
+    return "\n\n".join([left, right, "\n".join(summary_lines)])

@@ -1,0 +1,81 @@
+"""Plain-text rendering of experiment results.
+
+Every experiment module produces structured results; this module turns them
+into the fixed-width tables and ASCII series the CLI runner prints, so the
+output can be eyeballed against the paper's tables and figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """A fixed-width table with a separator under the header row."""
+    materialized: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append("  ".join("-" * w for w in widths))
+    parts.extend(line(row) for row in materialized)
+    return "\n".join(parts)
+
+
+def _cell(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "X" if value else ""
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_series(
+    labels: Sequence[object],
+    series: Dict[str, Sequence[Optional[float]]],
+    title: str = "",
+    width: int = 40,
+) -> str:
+    """Aligned numeric series, one row per label, one column per series."""
+    headers = ["x"] + list(series.keys())
+    rows = []
+    for i, label in enumerate(labels):
+        row: List[object] = [label]
+        for name in series:
+            values = series[name]
+            row.append(values[i] if i < len(values) else None)
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def format_bar_chart(
+    data: Dict[str, float], title: str = "", width: int = 40
+) -> str:
+    """A horizontal ASCII bar chart for distribution-style figures."""
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    peak = max(data.values(), default=0.0)
+    label_width = max((len(str(k)) for k in data), default=1)
+    for key, value in data.items():
+        bar = "#" * int(round(width * (value / peak))) if peak > 0 else ""
+        parts.append(f"{str(key).ljust(label_width)}  {value:7.3f}  {bar}")
+    return "\n".join(parts)
+
+
+def format_percent(value: Optional[float]) -> str:
+    return "-" if value is None else f"{100 * value:.1f}%"

@@ -1,0 +1,119 @@
+"""Table 3 — value inconsistency per attribute.
+
+Per measure (number of values, entropy, deviation) the attributes with the
+lowest and highest inconsistency, with the Stock numbers recomputed after
+excluding the stale StockSmart source (the parenthesized variant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.report import format_table
+from repro.profiling.consistency import (
+    ConsistencyProfile,
+    consistency_profile,
+    rank_attributes,
+)
+
+#: Paper highlights for EXPERIMENTS.md.
+PAPER_REFERENCE = {
+    "stock_low_num_values": ("Previous close", 1.14),
+    "stock_high_num_values": ("Volume", 7.42),
+    "stock_high_entropy": ("P/E", 1.49),
+    "flight_high_num_values": ("Actual depart", 1.98),
+    "flight_high_deviation_minutes": ("Actual depart", 15.14),
+}
+
+MEASURES = ("num_values", "entropy", "deviation")
+
+
+@dataclass
+class Table3Result:
+    #: domain -> measure -> (lowest rows, highest rows) of (attr, value).
+    rankings: Dict[str, Dict[str, Tuple[List[Tuple[str, float]], List[Tuple[str, float]]]]]
+    #: Stock-only variant excluding the stale source, keyed by measure.
+    without_stale: Dict[str, Dict[str, float]]
+    mean_num_values: Dict[str, float]
+    mean_entropy: Dict[str, float]
+
+
+def _rank(profile: ConsistencyProfile, measure: str, top: int = 5):
+    ranking = rank_attributes(profile, measure, top=top)
+    lows = [(r.attribute, r.value) for r in ranking.lowest]
+    highs = [(r.attribute, r.value) for r in ranking.highest]
+    return lows, highs
+
+
+def run(ctx: ExperimentContext, stale_source: str = "stocksmart") -> Table3Result:
+    rankings: Dict[str, Dict[str, Tuple[List, List]]] = {}
+    mean_nv: Dict[str, float] = {}
+    mean_e: Dict[str, float] = {}
+    for domain in ctx.domains:
+        snapshot = ctx.collection(domain).snapshot
+        profile = consistency_profile(snapshot)
+        rankings[domain] = {m: _rank(profile, m) for m in MEASURES}
+        mean_nv[domain] = profile.mean_num_values
+        mean_e[domain] = profile.mean_entropy
+
+    stock_snapshot = ctx.stock.snapshot
+    reduced = consistency_profile(stock_snapshot, exclude_sources=[stale_source])
+    without_stale = {
+        measure: {
+            a: value
+            for a, value in (
+                [(r.attribute, r.value) for r in rank_attributes(reduced, measure, top=16).lowest]
+            )
+        }
+        for measure in MEASURES
+    }
+    return Table3Result(
+        rankings=rankings,
+        without_stale=without_stale,
+        mean_num_values=mean_nv,
+        mean_entropy=mean_e,
+    )
+
+
+def render(result: Table3Result) -> str:
+    blocks: List[str] = []
+    for measure in MEASURES:
+        rows = []
+        for domain, ranks in result.rankings.items():
+            lows, highs = ranks[measure]
+            for (low_attr, low_val), (high_attr, high_val) in zip(lows, highs):
+                rows.append(
+                    (
+                        domain,
+                        low_attr,
+                        low_val,
+                        _with_paren(result, measure, low_attr, low_val, domain),
+                        high_attr,
+                        high_val,
+                        _with_paren(result, measure, high_attr, high_val, domain),
+                    )
+                )
+        blocks.append(
+            format_table(
+                ["Domain", "Low attr", measure, "(w/o stale)",
+                 "High attr", measure + " ", "(w/o stale) "],
+                rows,
+                title=f"Table 3 [{measure}]",
+            )
+        )
+    summary = "\n".join(
+        f"{domain}: mean #values {result.mean_num_values[domain]:.2f}, "
+        f"mean entropy {result.mean_entropy[domain]:.2f}"
+        for domain in result.mean_num_values
+    )
+    return "\n\n".join(blocks) + "\n" + summary
+
+
+def _with_paren(
+    result: Table3Result, measure: str, attribute: str, value: float, domain: str
+) -> Optional[float]:
+    if domain != "stock":
+        return None
+    return result.without_stale.get(measure, {}).get(attribute)

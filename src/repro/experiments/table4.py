@@ -1,0 +1,96 @@
+"""Table 4 — accuracy and coverage of authoritative sources.
+
+Per domain, the accuracy and gold-item coverage of the well-known sources
+(financial aggregators for Stock; Orbitz/Travelocity plus the airport
+average for Flight).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.records import SourceCategory
+from repro.experiments.context import ExperimentContext
+from repro.experiments.report import format_table
+from repro.profiling.accuracy import accuracy_profile
+
+PAPER_REFERENCE = {
+    "Google Finance": (0.94, 0.82),
+    "Yahoo! Finance": (0.93, 0.81),
+    "NASDAQ": (0.92, 0.84),
+    "MSN Money": (0.91, 0.89),
+    "Bloomberg": (0.83, 0.81),
+    "Orbitz": (0.98, 0.87),
+    "Travelocity": (0.95, 0.71),
+    "Airport average": (0.94, 0.03),
+}
+
+#: Stock authorities plus the named Flight aggregators.
+_STOCK_IDS = ("google_finance", "yahoo_finance", "nasdaq", "msn_money", "bloomberg")
+_FLIGHT_IDS = ("orbitz", "travelocity")
+
+
+@dataclass
+class Table4Row:
+    domain: str
+    source: str
+    accuracy: Optional[float]
+    coverage: float
+
+
+@dataclass
+class Table4Result:
+    rows: List[Table4Row]
+
+
+def run(ctx: ExperimentContext) -> Table4Result:
+    rows: List[Table4Row] = []
+
+    stock = ctx.stock
+    profile = accuracy_profile(stock.snapshot, stock.gold, _STOCK_IDS)
+    for source_id in _STOCK_IDS:
+        entry = profile.rows[source_id]
+        name = stock.snapshot.sources[source_id].display_name
+        rows.append(Table4Row("stock", name, entry.accuracy, entry.coverage))
+
+    flight = ctx.flight
+    profile = accuracy_profile(flight.snapshot, flight.gold, _FLIGHT_IDS)
+    for source_id in _FLIGHT_IDS:
+        entry = profile.rows[source_id]
+        name = flight.snapshot.sources[source_id].display_name
+        rows.append(Table4Row("flight", name, entry.accuracy, entry.coverage))
+
+    airports = [
+        s for s, meta in flight.snapshot.sources.items()
+        if meta.category is SourceCategory.AIRPORT
+    ]
+    airport_profile = accuracy_profile(flight.snapshot, flight.gold, airports)
+    accuracies = airport_profile.accuracies()
+    coverages = [airport_profile.rows[s].coverage for s in airports]
+    rows.append(
+        Table4Row(
+            "flight",
+            "Airport average",
+            sum(accuracies) / len(accuracies) if accuracies else None,
+            sum(coverages) / len(coverages) if coverages else 0.0,
+        )
+    )
+    return Table4Result(rows=rows)
+
+
+def render(result: Table4Result) -> str:
+    return format_table(
+        ["Domain", "Source", "Accuracy", "Coverage", "Paper (acc, cov)"],
+        [
+            (
+                r.domain,
+                r.source,
+                r.accuracy,
+                r.coverage,
+                str(PAPER_REFERENCE.get(r.source, "-")),
+            )
+            for r in result.rows
+        ],
+        title="Table 4: accuracy and coverage of authoritative sources",
+    )

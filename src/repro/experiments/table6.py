@@ -1,0 +1,50 @@
+"""Table 6 — the feature matrix of the fusion methods.
+
+Static: which evidence each method considers (number of providers, source
+trustworthiness, item trustworthiness, value popularity/similarity/
+formatting, copying).  Rendered from the method registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.report import format_table
+from repro.fusion.registry import all_method_infos
+
+FEATURE_COLUMNS = (
+    "#Providers",
+    "Source trustworthiness",
+    "Item trustworthiness",
+    "Value popularity",
+    "Value similarity",
+    "Value formatting",
+    "Copying",
+)
+
+
+@dataclass
+class Table6Result:
+    rows: List[Dict[str, object]]
+
+
+def run(ctx: ExperimentContext) -> Table6Result:  # ctx unused; uniform API
+    rows = []
+    for info in all_method_infos():
+        row: Dict[str, object] = {"Category": info.category, "Method": info.name}
+        row.update(info.features())
+        rows.append(row)
+    return Table6Result(rows=rows)
+
+
+def render(result: Table6Result) -> str:
+    return format_table(
+        ["Category", "Method", *FEATURE_COLUMNS],
+        [
+            [row["Category"], row["Method"], *(row[c] for c in FEATURE_COLUMNS)]
+            for row in result.rows
+        ],
+        title="Table 6: summary of data-fusion methods",
+    )

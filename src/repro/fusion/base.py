@@ -1,0 +1,448 @@
+"""Shared fusion framework (Section 4.1).
+
+Every fusion method in the paper is a fixed-point iteration over two maps:
+
+* **value votes** — from source trustworthiness to a score per candidate
+  value, and
+* **source trustworthiness** — from the value scores back to a per-source
+  (or per source-attribute) trust figure.
+
+:class:`FusionProblem` precomputes the snapshot into flat numpy arrays so
+every method runs off the same representation: candidate values are the
+tolerance buckets of Section 3.2 (*clusters*), claims are (source, cluster)
+pairs, and optional evidence — value similarity edges and formatting
+subsumption edges — is precomputed as sparse pair lists.
+
+:class:`FusionMethod` implements the shared iteration skeleton, convergence
+detection, trust seeding (the "given sampled trustworthiness" mode of
+Table 7), and result packaging.  Concrete methods override
+:meth:`FusionMethod._votes` and :meth:`FusionMethod._update_trust`.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.attributes import ValueKind
+from repro.core.dataset import Dataset
+from repro.core.records import DataItem, Value
+from repro.errors import FusionError
+
+#: Default cap on fixed-point rounds.
+DEFAULT_MAX_ROUNDS = 60
+#: Default L-infinity convergence threshold on the trust vector.
+DEFAULT_TOLERANCE = 1e-5
+#: Similarity decay scale, in units of the attribute tolerance.
+SIMILARITY_SCALE = 5.0
+#: Similarity edges below this weight are dropped.
+SIMILARITY_FLOOR = 0.05
+#: Neighbourhood (in buckets) searched for similar values.
+SIMILARITY_WINDOW = 12
+#: Weight of a formatting-implied partial vote.
+FORMAT_WEIGHT = 0.5
+
+
+class FusionProblem:
+    """A snapshot compiled to flat arrays for the fusion methods.
+
+    Attributes
+    ----------
+    items:
+        The data items, in a fixed order.
+    cluster_item:
+        For every cluster (candidate value), the index of its item.
+    item_start:
+        Clusters of item ``i`` are ``range(item_start[i], item_start[i+1])``.
+    claim_source / claim_cluster:
+        One entry per (source, provided value) pair.
+    sim_a / sim_b / sim_w:
+        Directed value-similarity edges within an item.
+    fmt_source / fmt_cluster / fmt_w:
+        Formatting evidence: source partially supports a cluster whose
+        representative rounds to the source's (coarser) provided value.
+    """
+
+    def __init__(self, dataset: Dataset):
+        self.dataset = dataset
+        self.items: List[DataItem] = list(dataset.items)
+        self.n_items = len(self.items)
+        if self.n_items == 0:
+            raise FusionError("cannot fuse an empty dataset")
+        self.sources: List[str] = list(dataset.source_ids)
+        self.n_sources = len(self.sources)
+        self.source_index = {s: i for i, s in enumerate(self.sources)}
+        self.attributes: List[str] = dataset.attributes.names
+        self.attr_index = {a: i for i, a in enumerate(self.attributes)}
+        self.n_attrs = len(self.attributes)
+
+        cluster_item: List[int] = []
+        cluster_rep: List[Value] = []
+        cluster_support: List[int] = []
+        item_start = [0]
+        item_attr: List[int] = []
+        claim_source: List[int] = []
+        claim_cluster: List[int] = []
+        claim_granularity: List[float] = []  # 0 = exact
+        claim_value: List[Value] = []
+
+        for item_idx, item in enumerate(self.items):
+            clustering = dataset.clustering(item)
+            item_attr.append(self.attr_index[item.attribute])
+            for cluster in clustering.clusters:
+                cluster_idx = len(cluster_item)
+                cluster_item.append(item_idx)
+                cluster_rep.append(cluster.representative)
+                cluster_support.append(cluster.support)
+                claims = dataset.claims_on(item)
+                for source_id in cluster.providers:
+                    claim = claims[source_id]
+                    claim_source.append(self.source_index[source_id])
+                    claim_cluster.append(cluster_idx)
+                    claim_granularity.append(claim.granularity or 0.0)
+                    claim_value.append(claim.value)
+            item_start.append(len(cluster_item))
+
+        self.cluster_item = np.asarray(cluster_item, dtype=np.int64)
+        self.cluster_rep: List[Value] = cluster_rep
+        self.cluster_support = np.asarray(cluster_support, dtype=np.int64)
+        self.item_start = np.asarray(item_start, dtype=np.int64)
+        self.item_attr = np.asarray(item_attr, dtype=np.int64)
+        self.n_clusters = len(cluster_rep)
+        self.claim_source = np.asarray(claim_source, dtype=np.int64)
+        self.claim_cluster = np.asarray(claim_cluster, dtype=np.int64)
+        self.claim_item = self.cluster_item[self.claim_cluster]
+        self.claim_attr = self.item_attr[self.claim_item]
+        self.n_claims = len(self.claim_source)
+        self._claim_granularity = np.asarray(claim_granularity, dtype=np.float64)
+        self._claim_value = claim_value
+
+        self.claims_per_source = np.bincount(
+            self.claim_source, minlength=self.n_sources
+        ).astype(np.float64)
+        self.providers_per_item = np.bincount(
+            self.claim_item, minlength=self.n_items
+        ).astype(np.float64)
+        self.clusters_per_item = np.diff(self.item_start).astype(np.float64)
+
+        self._sim: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        self._fmt: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+
+    # ----------------------------------------------------------- lazy extras
+    @property
+    def similarity_edges(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Directed within-item similarity edges ``(a, b, weight)``.
+
+        ``weight = exp(-|va - vb| / (SIMILARITY_SCALE * tau))`` for numeric
+        and time attributes; string values have no similarity.
+        """
+        if self._sim is None:
+            self._sim = self._build_similarity()
+        return self._sim
+
+    def _build_similarity(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        edges_a: List[int] = []
+        edges_b: List[int] = []
+        edges_w: List[float] = []
+        dataset = self.dataset
+        for item_idx, item in enumerate(self.items):
+            start, stop = self.item_start[item_idx], self.item_start[item_idx + 1]
+            if stop - start < 2:
+                continue
+            spec = dataset.spec(item.attribute)
+            if spec.kind is ValueKind.STRING:
+                continue
+            tol = dataset.tolerance(item.attribute)
+            if tol <= 0:
+                continue
+            reps = []
+            for c in range(start, stop):
+                try:
+                    reps.append(float(self.cluster_rep[c]))  # type: ignore[arg-type]
+                except (TypeError, ValueError):
+                    reps.append(math.nan)
+            for i in range(stop - start):
+                if math.isnan(reps[i]):
+                    continue
+                for j in range(stop - start):
+                    if i == j or math.isnan(reps[j]):
+                        continue
+                    distance = abs(reps[i] - reps[j]) / tol
+                    if distance > SIMILARITY_WINDOW:
+                        continue
+                    weight = math.exp(-distance / SIMILARITY_SCALE)
+                    if weight >= SIMILARITY_FLOOR:
+                        edges_a.append(start + i)
+                        edges_b.append(start + j)
+                        edges_w.append(weight)
+        return (
+            np.asarray(edges_a, dtype=np.int64),
+            np.asarray(edges_b, dtype=np.int64),
+            np.asarray(edges_w, dtype=np.float64),
+        )
+
+    @property
+    def format_edges(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Formatting evidence edges ``(source, cluster, weight)``.
+
+        A source that provides a rounded value ``v`` at granularity ``g`` is a
+        partial provider (weight :data:`FORMAT_WEIGHT`) of every other
+        cluster on the item whose representative rounds to ``v`` at ``g``.
+        """
+        if self._fmt is None:
+            self._fmt = self._build_format_edges()
+        return self._fmt
+
+    def _build_format_edges(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        src: List[int] = []
+        dst: List[int] = []
+        wgt: List[float] = []
+        rounded = np.flatnonzero(self._claim_granularity > 0)
+        for claim_idx in rounded:
+            granularity = self._claim_granularity[claim_idx]
+            own_cluster = self.claim_cluster[claim_idx]
+            item_idx = self.cluster_item[own_cluster]
+            try:
+                own_value = float(self._claim_value[claim_idx])  # type: ignore[arg-type]
+            except (TypeError, ValueError):
+                continue
+            start, stop = self.item_start[item_idx], self.item_start[item_idx + 1]
+            for c in range(start, stop):
+                if c == own_cluster:
+                    continue
+                try:
+                    rep = float(self.cluster_rep[c])  # type: ignore[arg-type]
+                except (TypeError, ValueError):
+                    continue
+                if abs(round(rep / granularity) * granularity - own_value) <= granularity * 1e-9:
+                    src.append(int(self.claim_source[claim_idx]))
+                    dst.append(c)
+                    wgt.append(FORMAT_WEIGHT)
+        return (
+            np.asarray(src, dtype=np.int64),
+            np.asarray(dst, dtype=np.int64),
+            np.asarray(wgt, dtype=np.float64),
+        )
+
+    # ------------------------------------------------------------- selection
+    def argmax_per_item(self, scores: np.ndarray) -> np.ndarray:
+        """Index of the best-scoring cluster of each item (first on ties)."""
+        best = np.empty(self.n_items, dtype=np.int64)
+        starts, stops = self.item_start[:-1], self.item_start[1:]
+        for i in range(self.n_items):
+            segment = scores[starts[i]:stops[i]]
+            best[i] = starts[i] + int(np.argmax(segment))
+        return best
+
+    def selection_to_values(self, selected: np.ndarray) -> Dict[DataItem, Value]:
+        return {
+            self.items[i]: self.cluster_rep[int(selected[i])]
+            for i in range(self.n_items)
+        }
+
+    def trust_vector(self, trust_by_source: Dict[str, float], default: float) -> np.ndarray:
+        vector = np.full(self.n_sources, default, dtype=np.float64)
+        for source_id, value in trust_by_source.items():
+            idx = self.source_index.get(source_id)
+            if idx is not None:
+                vector[idx] = value
+        return vector
+
+
+@dataclass
+class FusionResult:
+    """Outcome of one fusion run."""
+
+    method: str
+    selected: Dict[DataItem, Value]
+    trust: Dict[str, float]
+    attr_trust: Optional[Dict[Tuple[str, str], float]] = None
+    rounds: int = 0
+    converged: bool = True
+    runtime_seconds: float = 0.0
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    def value_for(self, item: DataItem) -> Optional[Value]:
+        return self.selected.get(item)
+
+
+class FusionMethod(abc.ABC):
+    """Base class implementing the shared fixed-point iteration."""
+
+    #: Registry name, e.g. ``"AccuSim"``.
+    name: str = "base"
+    #: Default initial trust assigned to every source.
+    initial_trust: float = 0.8
+    #: Whether trust is maintained per (source, attribute) pair.
+    per_attribute_trust: bool = False
+
+    def __init__(self, max_rounds: int = DEFAULT_MAX_ROUNDS,
+                 tolerance: float = DEFAULT_TOLERANCE):
+        self.max_rounds = max_rounds
+        self.tolerance = tolerance
+
+    # ------------------------------------------------------------------ API
+    def run(
+        self,
+        data: "Dataset | FusionProblem",
+        trust_seed: Optional[Dict[str, float]] = None,
+        freeze_trust: bool = False,
+        **kwargs,
+    ) -> FusionResult:
+        """Fuse a snapshot.
+
+        Parameters
+        ----------
+        data:
+            A :class:`Dataset` or a prebuilt :class:`FusionProblem` (reusing
+            one problem across methods avoids re-clustering).
+        trust_seed:
+            Initial per-source trust, e.g. the sampled trustworthiness of
+            Table 7's "prec w. trust" column.
+        freeze_trust:
+            Do not update trust: compute votes once from the seed and select
+            (the paper's "no need for iteration" mode).
+        """
+        problem = data if isinstance(data, FusionProblem) else FusionProblem(data)
+        started = time.perf_counter()
+        state = self._initial_state(problem, trust_seed)
+        rounds = 0
+        converged = False
+        selected = None
+        for rounds in range(1, self.max_rounds + 1):
+            scores = self._votes(problem, state)
+            selected = problem.argmax_per_item(scores)
+            if freeze_trust:
+                converged = True
+                break
+            new_trust = self._update_trust(problem, state, scores, selected)
+            delta = float(np.max(np.abs(new_trust - state["trust"]))) if new_trust.size else 0.0
+            state["trust"] = new_trust
+            if delta < self.tolerance:
+                converged = True
+                break
+        if selected is None:  # pragma: no cover - max_rounds >= 1 always
+            raise FusionError("fusion produced no selection")
+        runtime = time.perf_counter() - started
+        return self._package(problem, state, selected, rounds, converged, runtime)
+
+    # ------------------------------------------------------------ state mgmt
+    def _initial_state(
+        self, problem: FusionProblem, trust_seed: Optional[Dict[str, float]]
+    ) -> Dict[str, np.ndarray]:
+        if self.per_attribute_trust:
+            trust = np.full(
+                (problem.n_sources, problem.n_attrs), self.initial_trust
+            )
+            if trust_seed:
+                base = problem.trust_vector(trust_seed, self.initial_trust)
+                trust = np.repeat(base[:, None], problem.n_attrs, axis=1)
+        else:
+            if trust_seed:
+                trust = problem.trust_vector(trust_seed, self.initial_trust)
+            else:
+                trust = np.full(problem.n_sources, self.initial_trust)
+        return {"trust": trust}
+
+    def _claim_trust(self, problem: FusionProblem, state: Dict[str, np.ndarray]) -> np.ndarray:
+        """Per-claim trust, resolving per-attribute trust when enabled."""
+        trust = state["trust"]
+        if self.per_attribute_trust:
+            return trust[problem.claim_source, problem.claim_attr]
+        return trust[problem.claim_source]
+
+    def _package(
+        self,
+        problem: FusionProblem,
+        state: Dict[str, np.ndarray],
+        selected: np.ndarray,
+        rounds: int,
+        converged: bool,
+        runtime: float,
+    ) -> FusionResult:
+        trust = state["trust"]
+        if self.per_attribute_trust:
+            attr_trust = {
+                (problem.sources[s], problem.attributes[a]): float(trust[s, a])
+                for s in range(problem.n_sources)
+                for a in range(problem.n_attrs)
+            }
+            flat = {
+                problem.sources[s]: float(np.mean(trust[s]))
+                for s in range(problem.n_sources)
+            }
+        else:
+            attr_trust = None
+            flat = {
+                problem.sources[s]: float(trust[s]) for s in range(problem.n_sources)
+            }
+        return FusionResult(
+            method=self.name,
+            selected=problem.selection_to_values(selected),
+            trust=flat,
+            attr_trust=attr_trust,
+            rounds=rounds,
+            converged=converged,
+            runtime_seconds=runtime,
+        )
+
+    # -------------------------------------------------------------- plumbing
+    @abc.abstractmethod
+    def _votes(self, problem: FusionProblem, state: Dict[str, np.ndarray]) -> np.ndarray:
+        """Score every cluster given the current state."""
+
+    @abc.abstractmethod
+    def _update_trust(
+        self,
+        problem: FusionProblem,
+        state: Dict[str, np.ndarray],
+        scores: np.ndarray,
+        selected: np.ndarray,
+    ) -> np.ndarray:
+        """Recompute trust from the current scores/selection."""
+
+
+def accumulate_by_source(
+    problem: FusionProblem, per_claim: np.ndarray, per_attribute: bool = False
+) -> np.ndarray:
+    """Sum a per-claim quantity into a per-source (or per source-attr) array."""
+    if per_attribute:
+        flat_index = problem.claim_source * problem.n_attrs + problem.claim_attr
+        sums = np.bincount(
+            flat_index, weights=per_claim,
+            minlength=problem.n_sources * problem.n_attrs,
+        )
+        return sums.reshape(problem.n_sources, problem.n_attrs)
+    return np.bincount(
+        problem.claim_source, weights=per_claim, minlength=problem.n_sources
+    )
+
+
+def accumulate_by_cluster(
+    problem: FusionProblem, per_claim: np.ndarray
+) -> np.ndarray:
+    """Sum a per-claim quantity into a per-cluster array."""
+    return np.bincount(
+        problem.claim_cluster, weights=per_claim, minlength=problem.n_clusters
+    )
+
+
+def segment_sum_per_item(problem: FusionProblem, per_cluster: np.ndarray) -> np.ndarray:
+    """Sum a per-cluster quantity over each item."""
+    return np.bincount(
+        problem.cluster_item, weights=per_cluster, minlength=problem.n_items
+    )
+
+
+def softmax_per_item(problem: FusionProblem, scores: np.ndarray) -> np.ndarray:
+    """Per-item softmax of cluster scores (numerically stabilized)."""
+    item_max = np.full(problem.n_items, -np.inf)
+    np.maximum.at(item_max, problem.cluster_item, scores)
+    shifted = np.exp(scores - item_max[problem.cluster_item])
+    denom = segment_sum_per_item(problem, shifted)
+    return shifted / denom[problem.cluster_item]

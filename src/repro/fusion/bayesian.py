@@ -1,0 +1,175 @@
+"""Bayesian fusion methods (Section 4.1).
+
+* **TRUTHFINDER** (Yin et al.) — a value's confidence is a logistic function
+  of the sum of its providers' ``-ln(1 - trust)`` scores, boosted by the
+  scores of similar values; a source's trust is the mean confidence of its
+  claims.
+* **ACCUPR** (Dong et al.) — proper Bayesian conditioning assuming ``n``
+  uniformly-distributed false values per item; mutually exclusive values
+  yield a per-item softmax over vote counts ``ln(n * A / (1 - A))``.
+* **POPACCU** (Dong, Saha & Srivastava) — drops the uniform-false-value
+  assumption: a vote on value ``v`` is discounted by the observed popularity
+  of ``v`` among the item's claims, so popular (e.g. copied) false values
+  stop looking surprising.
+* **ACCUSIM / ACCUFORMAT** — ACCUPR plus value-similarity / formatting
+  evidence.
+* **...ATTR variants** — maintain trust per (source, attribute) pair
+  (Section 4.1's "distinguish trustworthiness for each attribute"),
+  smoothed toward the source's global accuracy for thin cells.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.fusion.base import (
+    FusionMethod,
+    FusionProblem,
+    accumulate_by_cluster,
+    accumulate_by_source,
+    softmax_per_item,
+)
+
+_EPS = 1e-6
+#: Cap on trust so vote counts stay finite.
+_TRUST_CLIP = (0.02, 0.98)
+#: Smoothing pseudo-count for per-attribute trust cells.
+_ATTR_SMOOTHING = 4.0
+
+
+class TruthFinder(FusionMethod):
+    """Yin et al.'s TRUTHFINDER with value-similarity boost."""
+
+    name = "TruthFinder"
+    initial_trust = 0.9
+
+    def __init__(self, gamma: float = 0.3, rho: float = 0.5, **kwargs):
+        super().__init__(**kwargs)
+        self.gamma = gamma
+        self.rho = rho
+
+    def _votes(self, problem: FusionProblem, state: Dict[str, np.ndarray]) -> np.ndarray:
+        trust = np.clip(state["trust"], *_TRUST_CLIP)
+        tau = -np.log(1.0 - trust)
+        sigma = accumulate_by_cluster(problem, tau[problem.claim_source])
+        sim_a, sim_b, sim_w = problem.similarity_edges
+        boosted = sigma.copy()
+        if len(sim_a):
+            np.add.at(boosted, sim_b, self.rho * sim_w * sigma[sim_a])
+        return 1.0 / (1.0 + np.exp(-self.gamma * boosted))
+
+    def _update_trust(self, problem, state, scores, selected) -> np.ndarray:
+        sums = accumulate_by_source(problem, scores[problem.claim_cluster])
+        counts = np.maximum(problem.claims_per_source, 1.0)
+        return np.clip(sums / counts, *_TRUST_CLIP)
+
+
+class AccuPr(FusionMethod):
+    """Dong et al.'s ACCU with mutually-exclusive values (softmax).
+
+    Subclass hooks: ``use_similarity``, ``use_format``, ``use_popularity``
+    toggle the ACCUSIM / ACCUFORMAT / POPACCU refinements, and
+    ``per_attribute_trust`` switches to per-(source, attribute) accuracies.
+    """
+
+    name = "AccuPr"
+    initial_trust = 0.8
+    use_similarity = False
+    use_format = False
+    use_popularity = False
+
+    def __init__(self, n_false_values: float = 10.0, rho: float = 0.5, **kwargs):
+        super().__init__(**kwargs)
+        self.n_false_values = n_false_values
+        self.rho = rho
+
+    # ------------------------------------------------------------- vote math
+    def _vote_counts(self, problem: FusionProblem, state: Dict[str, np.ndarray]) -> np.ndarray:
+        accuracy = np.clip(self._claim_trust(problem, state), *_TRUST_CLIP)
+        return np.log(self.n_false_values * accuracy / (1.0 - accuracy))
+
+    def _popularity_discount(self, problem: FusionProblem) -> np.ndarray:
+        """POPACCU: ``-ln rho(v | d)`` replaces the uniform ``ln n`` term."""
+        support = problem.cluster_support.astype(np.float64)
+        providers = problem.providers_per_item[problem.cluster_item]
+        popularity = (support + 0.5) / (providers + 0.5 * problem.clusters_per_item[problem.cluster_item])
+        return -np.log(popularity) - np.log(self.n_false_values)
+
+    def _votes(self, problem: FusionProblem, state: Dict[str, np.ndarray]) -> np.ndarray:
+        per_claim = self._vote_counts(problem, state)
+        scores = accumulate_by_cluster(problem, per_claim)
+        if self.use_popularity:
+            scores = scores + self._popularity_discount(problem) * problem.cluster_support
+        if self.use_format:
+            fmt_source, fmt_cluster, fmt_w = problem.format_edges
+            if len(fmt_source):
+                trust = state["trust"]
+                if self.per_attribute_trust:
+                    fmt_attr = problem.item_attr[problem.cluster_item[fmt_cluster]]
+                    acc = np.clip(trust[fmt_source, fmt_attr], *_TRUST_CLIP)
+                else:
+                    acc = np.clip(trust[fmt_source], *_TRUST_CLIP)
+                votes = np.log(self.n_false_values * acc / (1.0 - acc))
+                np.add.at(scores, fmt_cluster, fmt_w * votes)
+        if self.use_similarity:
+            sim_a, sim_b, sim_w = problem.similarity_edges
+            if len(sim_a):
+                base = scores.copy()
+                np.add.at(scores, sim_b, self.rho * sim_w * base[sim_a])
+        probabilities = softmax_per_item(problem, scores)
+        return probabilities
+
+    def _update_trust(self, problem, state, scores, selected) -> np.ndarray:
+        per_claim = scores[problem.claim_cluster]
+        if self.per_attribute_trust:
+            sums = accumulate_by_source(problem, per_claim, per_attribute=True)
+            counts = accumulate_by_source(
+                problem, np.ones_like(per_claim), per_attribute=True
+            )
+            global_sums = sums.sum(axis=1)
+            global_counts = np.maximum(counts.sum(axis=1), 1.0)
+            global_acc = global_sums / global_counts
+            smoothed = (sums + _ATTR_SMOOTHING * global_acc[:, None]) / (
+                counts + _ATTR_SMOOTHING
+            )
+            return np.clip(smoothed, *_TRUST_CLIP)
+        sums = accumulate_by_source(problem, per_claim)
+        counts = np.maximum(problem.claims_per_source, 1.0)
+        return np.clip(sums / counts, *_TRUST_CLIP)
+
+
+class PopAccu(AccuPr):
+    """ACCUPR with the observed false-value popularity (no uniform prior)."""
+
+    name = "PopAccu"
+    use_popularity = True
+
+
+class AccuSim(AccuPr):
+    """ACCUPR plus value-similarity evidence."""
+
+    name = "AccuSim"
+    use_similarity = True
+
+
+class AccuFormat(AccuSim):
+    """ACCUSIM plus formatting (granularity subsumption) evidence."""
+
+    name = "AccuFormat"
+    use_format = True
+
+
+class AccuSimAttr(AccuSim):
+    """ACCUSIM with per-attribute source trust."""
+
+    name = "AccuSimAttr"
+    per_attribute_trust = True
+
+
+class AccuFormatAttr(AccuFormat):
+    """ACCUFORMAT with per-attribute source trust."""
+
+    name = "AccuFormatAttr"
+    per_attribute_trust = True

@@ -1,0 +1,30 @@
+"""VOTE — the baseline strategy (Section 4.1).
+
+Takes the dominant value (largest number of providers) as the truth; its
+precision is exactly the precision of dominant values studied in Section 3.2.
+No iteration is required.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.fusion.base import FusionMethod, FusionProblem
+
+
+class Vote(FusionMethod):
+    """Majority voting over the bucketed values."""
+
+    name = "Vote"
+    initial_trust = 1.0
+
+    def __init__(self):
+        super().__init__(max_rounds=1)
+
+    def _votes(self, problem: FusionProblem, state: Dict[str, np.ndarray]) -> np.ndarray:
+        return problem.cluster_support.astype(np.float64)
+
+    def _update_trust(self, problem, state, scores, selected) -> np.ndarray:
+        return state["trust"]

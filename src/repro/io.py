@@ -1,0 +1,213 @@
+"""Import/export: claim tables as CSV, fusion results as JSON.
+
+A downstream user's data rarely starts as a :class:`~repro.core.Dataset`;
+this module round-trips the library's objects through plain files:
+
+* :func:`write_claims_csv` / :func:`read_claims_csv` — the sparse claim
+  matrix as ``source,object,attribute,value,granularity`` rows, with an
+  attribute-spec header section so value kinds survive the round trip;
+* :func:`write_result_json` / :func:`read_result_json` — a
+  :class:`~repro.fusion.base.FusionResult` (selected values + trust);
+* :func:`write_gold_csv` / :func:`read_gold_csv` — gold standards.
+
+Everything is stdlib ``csv``/``json``; no extra dependencies.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.core.attributes import AttributeSpec, AttributeTable, ValueKind
+from repro.core.dataset import Dataset
+from repro.core.gold import GoldStandard
+from repro.core.records import Claim, DataItem, SourceMeta, Value
+from repro.errors import ValueParseError
+from repro.fusion.base import FusionResult
+
+PathLike = Union[str, Path]
+
+_KIND_TAG = "#attribute"
+_SOURCE_TAG = "#source"
+
+
+def _encode_value(value: Value) -> str:
+    if isinstance(value, str):
+        return f"s:{value}"
+    return f"f:{float(value)!r}"
+
+
+def _decode_value(text: str) -> Value:
+    if text.startswith("s:"):
+        return text[2:]
+    if text.startswith("f:"):
+        try:
+            return float(text[2:])
+        except ValueError:
+            raise ValueParseError(f"bad float payload {text!r}") from None
+    raise ValueParseError(f"untagged value payload {text!r}")
+
+
+def write_claims_csv(dataset: Dataset, path: PathLike) -> None:
+    """Write a snapshot's claims (plus schema and source metadata) to CSV."""
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["domain", dataset.domain, "day", dataset.day])
+        for spec in dataset.attributes:
+            writer.writerow(
+                [_KIND_TAG, spec.name, spec.kind.value,
+                 repr(spec.tolerance_factor), int(spec.statistical)]
+            )
+        for meta in dataset.sources.values():
+            writer.writerow(
+                [_SOURCE_TAG, meta.source_id, meta.name,
+                 meta.category.value, int(meta.is_authority)]
+            )
+        writer.writerow(["source", "object", "attribute", "value", "granularity"])
+        for item, source_id, claim in dataset.iter_claims():
+            writer.writerow([
+                source_id,
+                item.object_id,
+                item.attribute,
+                _encode_value(claim.value),
+                "" if claim.granularity is None else repr(claim.granularity),
+            ])
+
+
+def read_claims_csv(path: PathLike) -> Dataset:
+    """Read a dataset written by :func:`write_claims_csv` (frozen)."""
+    from repro.core.records import SourceCategory
+
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        if len(header) < 4 or header[0] != "domain":
+            raise ValueParseError(f"{path}: not a claims CSV (bad header)")
+        domain, day = header[1], header[3]
+
+        table = AttributeTable()
+        sources = []
+        claims = []
+        in_claims = False
+        for row in reader:
+            if not row:
+                continue
+            if row[0] == _KIND_TAG:
+                table.add(
+                    AttributeSpec(
+                        name=row[1],
+                        kind=ValueKind(row[2]),
+                        tolerance_factor=float(row[3]),
+                        statistical=bool(int(row[4])),
+                    )
+                )
+            elif row[0] == _SOURCE_TAG:
+                sources.append(
+                    SourceMeta(
+                        source_id=row[1],
+                        name=row[2],
+                        category=SourceCategory(row[3]),
+                        is_authority=bool(int(row[4])),
+                    )
+                )
+            elif row[0] == "source" and not in_claims:
+                in_claims = True
+            else:
+                claims.append(row)
+
+    dataset = Dataset(domain=domain, day=day, attributes=table)
+    for meta in sources:
+        dataset.add_source(meta)
+    for source_id, object_id, attribute, payload, granularity in claims:
+        dataset.add_claim(
+            source_id,
+            DataItem(object_id, attribute),
+            Claim(
+                value=_decode_value(payload),
+                granularity=float(granularity) if granularity else None,
+            ),
+        )
+    return dataset.freeze()
+
+
+def write_result_json(result: FusionResult, path: PathLike) -> None:
+    """Serialize a fusion result (selected values, trust, run metadata)."""
+    payload = {
+        "method": result.method,
+        "rounds": result.rounds,
+        "converged": result.converged,
+        "runtime_seconds": result.runtime_seconds,
+        "selected": [
+            {
+                "object": item.object_id,
+                "attribute": item.attribute,
+                "value": _encode_value(value),
+            }
+            for item, value in sorted(result.selected.items())
+        ],
+        "trust": result.trust,
+        "attr_trust": (
+            None
+            if result.attr_trust is None
+            else [
+                {"source": s, "attribute": a, "trust": t}
+                for (s, a), t in sorted(result.attr_trust.items())
+            ]
+        ),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+
+
+def read_result_json(path: PathLike) -> FusionResult:
+    """Load a fusion result written by :func:`write_result_json`."""
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    selected = {
+        DataItem(entry["object"], entry["attribute"]): _decode_value(entry["value"])
+        for entry in payload["selected"]
+    }
+    attr_trust: Optional[Dict] = None
+    if payload.get("attr_trust") is not None:
+        attr_trust = {
+            (entry["source"], entry["attribute"]): entry["trust"]
+            for entry in payload["attr_trust"]
+        }
+    return FusionResult(
+        method=payload["method"],
+        selected=selected,
+        trust=payload["trust"],
+        attr_trust=attr_trust,
+        rounds=payload["rounds"],
+        converged=payload["converged"],
+        runtime_seconds=payload["runtime_seconds"],
+    )
+
+
+def write_gold_csv(gold: GoldStandard, path: PathLike) -> None:
+    """Write a gold standard to CSV."""
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["domain", gold.domain])
+        writer.writerow(["object", "attribute", "value"])
+        for item, value in sorted(gold.values.items()):
+            writer.writerow([item.object_id, item.attribute, _encode_value(value)])
+
+
+def read_gold_csv(path: PathLike) -> GoldStandard:
+    """Load a gold standard written by :func:`write_gold_csv`."""
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        if len(header) < 2 or header[0] != "domain":
+            raise ValueParseError(f"{path}: not a gold CSV (bad header)")
+        domain = header[1]
+        next(reader)  # column header
+        values = {
+            DataItem(row[0], row[1]): _decode_value(row[2])
+            for row in reader
+            if row
+        }
+    return GoldStandard(domain=domain, values=values)

@@ -1,0 +1,38 @@
+"""Value, time, string, and schema normalization."""
+
+from repro.normalize.numbers import (
+    ParsedNumber,
+    format_number,
+    parse_number,
+    round_to_granularity,
+    rounds_to,
+)
+from repro.normalize.schema import SchemaMatcher, match_statistics
+from repro.normalize.strings import normalize_gate, normalize_name, normalize_symbol
+from repro.normalize.times import (
+    MINUTES_PER_DAY,
+    clamp_to_day,
+    format_time,
+    minutes_between,
+    parse_time,
+    try_parse_time,
+)
+
+__all__ = [
+    "ParsedNumber",
+    "format_number",
+    "parse_number",
+    "round_to_granularity",
+    "rounds_to",
+    "SchemaMatcher",
+    "match_statistics",
+    "normalize_gate",
+    "normalize_name",
+    "normalize_symbol",
+    "MINUTES_PER_DAY",
+    "clamp_to_day",
+    "format_time",
+    "minutes_between",
+    "parse_time",
+    "try_parse_time",
+]

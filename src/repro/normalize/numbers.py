@@ -1,0 +1,138 @@
+"""Numeric value normalization (Section 2.2).
+
+Deep-Web sources format the same number many ways — the paper's example is
+``"6.7M"``, ``"6,700,000"`` and ``"6700000"`` being the same value.  This
+module parses such strings to canonical floats and records the *granularity*
+implied by the formatting (``"6.7M"`` is precise only to 0.1 million), which
+feeds the formatting evidence used by ACCUFORMAT (Section 4.1).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ValueParseError
+
+_SUFFIXES = {
+    "K": 1e3,
+    "M": 1e6,
+    "B": 1e9,
+    "T": 1e12,
+}
+
+_NUMBER_RE = re.compile(
+    r"""^\s*
+    (?P<sign>[-+(]?)\s*
+    \$?\s*
+    (?P<digits>\d{1,3}(?:,\d{3})+|\d*\.?\d+)
+    \s*(?P<suffix>[KMBT]?)
+    \s*(?P<percent>%?)
+    \)?\s*$""",
+    re.VERBOSE | re.IGNORECASE,
+)
+
+
+@dataclass(frozen=True)
+class ParsedNumber:
+    """A parsed numeric value plus the granularity implied by its format."""
+
+    value: float
+    granularity: Optional[float]
+    is_percent: bool = False
+
+
+def _decimal_places(digits: str) -> int:
+    if "." not in digits:
+        return 0
+    return len(digits.split(".", 1)[1])
+
+
+def parse_number(raw: str) -> ParsedNumber:
+    """Parse one formatted number string.
+
+    Handles thousands separators, currency signs, ``K/M/B/T`` suffixes,
+    percent signs, and parenthesized/“-” negatives.  The granularity is the
+    smallest step representable in the given format: ``"6.7M"`` has
+    granularity ``1e5``; plain integers have granularity ``None`` (exact).
+
+    Raises
+    ------
+    ValueParseError
+        If the string is not a recognizable number.
+    """
+    if raw is None:
+        raise ValueParseError("cannot parse None as a number")
+    text = str(raw).strip()
+    match = _NUMBER_RE.match(text)
+    if not match:
+        # Scientific notation ("1e+10") falls outside the Deep-Web formats
+        # but is accepted for robustness.
+        try:
+            value = float(text)
+        except ValueError:
+            raise ValueParseError(f"unparseable number: {raw!r}") from None
+        if math.isnan(value) or math.isinf(value):
+            raise ValueParseError(f"unparseable number: {raw!r}")
+        return ParsedNumber(value=value, granularity=None)
+    digits = match.group("digits").replace(",", "")
+    try:
+        magnitude = float(digits)
+    except ValueError:  # pragma: no cover - regex should prevent this
+        raise ValueParseError(f"unparseable number: {raw!r}") from None
+    sign = -1.0 if match.group("sign") in ("-", "(") else 1.0
+    suffix = match.group("suffix").upper()
+    scale = _SUFFIXES.get(suffix, 1.0)
+    value = sign * magnitude * scale
+
+    granularity: Optional[float] = None
+    if suffix:
+        granularity = scale / (10 ** _decimal_places(match.group("digits")))
+        if granularity <= 1.0:
+            granularity = None
+    return ParsedNumber(
+        value=value,
+        granularity=granularity,
+        is_percent=bool(match.group("percent")),
+    )
+
+
+def format_number(value: float, granularity: Optional[float] = None) -> str:
+    """Render a float the way a Deep-Web source would.
+
+    With a granularity of 1e6 renders ``"7.5M"``-style strings; otherwise a
+    plain decimal with thousands separators for large integers.
+    """
+    if granularity and granularity >= 1e3:
+        for suffix, scale in (("T", 1e12), ("B", 1e9), ("M", 1e6), ("K", 1e3)):
+            if granularity >= scale or abs(value) >= scale:
+                decimals = max(0, int(round(math.log10(scale / granularity))))
+                return f"{value / scale:.{decimals}f}{suffix}"
+    if abs(value) >= 1000 and float(value).is_integer():
+        return f"{int(value):,}"
+    if float(value).is_integer():
+        return str(int(value))
+    return f"{value:.10g}"
+
+
+def round_to_granularity(value: float, granularity: float) -> float:
+    """Round a value onto a granularity grid (what a rounding source reports)."""
+    if granularity <= 0:
+        raise ValueParseError(f"granularity must be positive, got {granularity}")
+    return round(value / granularity) * granularity
+
+
+def rounds_to(fine: float, coarse: float, granularity: float) -> bool:
+    """Whether ``coarse`` equals ``fine`` rounded onto the granularity grid.
+
+    This is the subsumption test behind the ACCUFORMAT evidence (Section 4.1):
+    a source that rounds to millions and provides ``"8M"`` is treated as a
+    partial provider of any finer value that rounds to 8e6.
+    """
+    if granularity <= 0:
+        return False
+    return math.isclose(
+        round(fine / granularity) * granularity, coarse, rel_tol=1e-12, abs_tol=granularity * 1e-9
+    )

@@ -1,0 +1,41 @@
+"""String/categorical value normalization (gates, symbols).
+
+The Flight domain's gate attributes are strings with formatting noise:
+``"C102"``, ``"C-102"``, ``"Gate C102"``, ``"Terminal C, Gate 102"``.  The
+paper resolves such heterogeneity manually; we implement the equivalent
+canonicalizer so that value-level comparison only sees genuine conflicts.
+"""
+
+from __future__ import annotations
+
+import re
+
+_GATE_NOISE_RE = re.compile(r"\b(gate|terminal|term|concourse)\b", re.IGNORECASE)
+_NON_ALNUM_RE = re.compile(r"[^A-Z0-9]+")
+_WS_RE = re.compile(r"\s+")
+
+
+def normalize_gate(raw: str) -> str:
+    """Canonicalize a gate designator: ``"Gate C-102"`` -> ``"C102"``."""
+    if raw is None:
+        return ""
+    text = _GATE_NOISE_RE.sub(" ", str(raw))
+    text = text.upper()
+    text = _NON_ALNUM_RE.sub("", text)
+    return text
+
+
+def normalize_symbol(raw: str) -> str:
+    """Canonicalize a stock ticker symbol: strip whitespace, upper-case."""
+    if raw is None:
+        return ""
+    return _WS_RE.sub("", str(raw)).upper()
+
+
+def normalize_name(raw: str) -> str:
+    """Loose canonical form for free-text names (attribute labels etc.)."""
+    if raw is None:
+        return ""
+    text = str(raw).strip().lower()
+    text = re.sub(r"[^a-z0-9%$/ ]+", " ", text)
+    return _WS_RE.sub(" ", text).strip()

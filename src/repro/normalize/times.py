@@ -1,0 +1,102 @@
+"""Time value normalization for the Flight domain.
+
+Flight sources report times in many formats — ``"6:15 PM"``, ``"18:15"``,
+``"Dec 8 6:15p"`` — and the paper normalizes them before comparison, with a
+10-minute tolerance.  The canonical representation throughout this library is
+*minutes since midnight* as a float, so arithmetic (deviation in minutes,
+Equation 2) is direct.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.errors import ValueParseError
+
+_TIME_RE = re.compile(
+    r"""(?:^|\s)
+    (?P<hour>\d{1,2})
+    :
+    (?P<minute>\d{2})
+    (?::(?P<second>\d{2}))?
+    \s*
+    (?P<ampm>[AaPp]\.?[Mm]?\.?)?
+    \s*$""",
+    re.VERBOSE,
+)
+
+MINUTES_PER_DAY = 24 * 60
+
+
+def parse_time(raw: str) -> float:
+    """Parse a clock time to minutes since midnight.
+
+    Accepts 24-hour (``"18:15"``) and 12-hour (``"6:15 PM"``, ``"6:15p"``)
+    formats, with an optional leading date fragment which is ignored.
+
+    Raises
+    ------
+    ValueParseError
+        If no clock time can be found in the string.
+    """
+    if raw is None:
+        raise ValueParseError("cannot parse None as a time")
+    text = str(raw).strip()
+    match = _TIME_RE.search(text)
+    if not match:
+        raise ValueParseError(f"unparseable time: {raw!r}")
+    hour = int(match.group("hour"))
+    minute = int(match.group("minute"))
+    if minute >= 60:
+        raise ValueParseError(f"invalid minutes in time: {raw!r}")
+    ampm = (match.group("ampm") or "").lower()
+    if ampm.startswith("p"):
+        if hour > 12:
+            raise ValueParseError(f"hour {hour} with PM marker: {raw!r}")
+        if hour != 12:
+            hour += 12
+    elif ampm.startswith("a"):
+        if hour > 12:
+            raise ValueParseError(f"hour {hour} with AM marker: {raw!r}")
+        if hour == 12:
+            hour = 0
+    if hour >= 24:
+        raise ValueParseError(f"invalid hour in time: {raw!r}")
+    return float(hour * 60 + minute)
+
+
+def format_time(minutes: float, twelve_hour: bool = False) -> str:
+    """Render minutes-since-midnight as a clock string."""
+    total = int(round(minutes)) % MINUTES_PER_DAY
+    hour, minute = divmod(total, 60)
+    if not twelve_hour:
+        return f"{hour:02d}:{minute:02d}"
+    suffix = "AM" if hour < 12 else "PM"
+    display_hour = hour % 12 or 12
+    return f"{display_hour}:{minute:02d} {suffix}"
+
+
+def minutes_between(a: float, b: float, wrap_midnight: bool = False) -> float:
+    """Absolute difference of two clock times in minutes.
+
+    With ``wrap_midnight`` the difference is taken on the 24h circle, so
+    23:55 and 00:05 are 10 minutes apart rather than 1430.
+    """
+    diff = abs(float(a) - float(b))
+    if wrap_midnight:
+        diff = min(diff, MINUTES_PER_DAY - diff)
+    return diff
+
+
+def clamp_to_day(minutes: float) -> float:
+    """Wrap a possibly-negative or >24h offset back into [0, 1440)."""
+    return float(minutes) % MINUTES_PER_DAY
+
+
+def try_parse_time(raw: str) -> Optional[float]:
+    """Like :func:`parse_time` but returns ``None`` instead of raising."""
+    try:
+        return parse_time(raw)
+    except ValueParseError:
+        return None

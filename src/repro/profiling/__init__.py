@@ -1,0 +1,87 @@
+"""Data-quality profiling: every measure of Section 3."""
+
+from repro.profiling.accuracy import (
+    AccuracyOverTime,
+    AccuracyProfile,
+    SourceAccuracy,
+    accuracy_over_time,
+    accuracy_profile,
+    dominant_precision_over_time,
+)
+from repro.profiling.consistency import (
+    AttributeInconsistency,
+    ConsistencyProfile,
+    InconsistencyRanking,
+    ItemConsistency,
+    consistency_profile,
+    rank_attributes,
+)
+from repro.profiling.copying_stats import (
+    CopyGroupStats,
+    all_copy_group_stats,
+    copy_group_stats,
+)
+from repro.profiling.coverage import (
+    COVERAGE_THRESHOLDS,
+    AttributeCoverageProfile,
+    attribute_coverage,
+    build_schema_matcher,
+    schema_match_statistics,
+)
+from repro.profiling.dominance import (
+    DOMINANCE_BUCKETS,
+    DominanceProfile,
+    dominance_bucket,
+    dominance_profile,
+    top_k_value_precision,
+)
+from repro.profiling.reasons import (
+    ReasonBreakdown,
+    classify_item_reason,
+    reason_breakdown,
+    sampled_reason_breakdown,
+)
+from repro.profiling.redundancy import (
+    REDUNDANCY_THRESHOLDS,
+    RedundancyProfile,
+    redundancy_profile,
+    source_item_coverage,
+    source_object_coverage,
+)
+
+__all__ = [
+    "AccuracyOverTime",
+    "AccuracyProfile",
+    "SourceAccuracy",
+    "accuracy_over_time",
+    "accuracy_profile",
+    "dominant_precision_over_time",
+    "AttributeInconsistency",
+    "ConsistencyProfile",
+    "InconsistencyRanking",
+    "ItemConsistency",
+    "consistency_profile",
+    "rank_attributes",
+    "CopyGroupStats",
+    "all_copy_group_stats",
+    "copy_group_stats",
+    "COVERAGE_THRESHOLDS",
+    "AttributeCoverageProfile",
+    "attribute_coverage",
+    "build_schema_matcher",
+    "schema_match_statistics",
+    "DOMINANCE_BUCKETS",
+    "DominanceProfile",
+    "dominance_bucket",
+    "dominance_profile",
+    "top_k_value_precision",
+    "ReasonBreakdown",
+    "classify_item_reason",
+    "reason_breakdown",
+    "sampled_reason_breakdown",
+    "REDUNDANCY_THRESHOLDS",
+    "RedundancyProfile",
+    "redundancy_profile",
+    "source_item_coverage",
+    "source_object_coverage",
+]

@@ -1,0 +1,113 @@
+"""Copying-group commonality measures (Section 3.4, Table 5).
+
+For each group of sources with (suspected) copying the paper reports:
+
+* **schema commonality** — average pairwise Jaccard similarity of provided
+  global attribute sets;
+* **object commonality** — same over provided object sets;
+* **value commonality** — average fraction of equal values over the shared
+  data items of each pair;
+* **average accuracy** — mean source accuracy within the group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.dataset import Dataset
+from repro.core.gold import GoldStandard, accuracy_of_source
+
+
+@dataclass
+class CopyGroupStats:
+    """One Table 5 row."""
+
+    members: List[str]
+    schema_similarity: float
+    object_similarity: float
+    value_similarity: float
+    average_accuracy: Optional[float]
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+
+def _jaccard(a: set, b: set) -> float:
+    if not a and not b:
+        return 1.0
+    union = a | b
+    return len(a & b) / len(union) if union else 1.0
+
+
+def _pair_value_similarity(dataset: Dataset, s1: str, s2: str) -> Optional[float]:
+    claims1 = dataset.claims_by(s1)
+    claims2 = dataset.claims_by(s2)
+    shared = set(claims1) & set(claims2)
+    if not shared:
+        return None
+    equal = sum(
+        1
+        for item in shared
+        if dataset.values_match(
+            item.attribute, claims1[item].value, claims2[item].value
+        )
+    )
+    return equal / len(shared)
+
+
+def copy_group_stats(
+    dataset: Dataset,
+    members: Sequence[str],
+    gold: Optional[GoldStandard] = None,
+) -> CopyGroupStats:
+    """Compute the Table 5 commonality measures for one group of sources."""
+    schemas: Dict[str, set] = {}
+    objects: Dict[str, set] = {}
+    for source_id in members:
+        claims = dataset.claims_by(source_id)
+        schemas[source_id] = {item.attribute for item in claims}
+        objects[source_id] = {item.object_id for item in claims}
+
+    schema_sims: List[float] = []
+    object_sims: List[float] = []
+    value_sims: List[float] = []
+    for s1, s2 in combinations(members, 2):
+        schema_sims.append(_jaccard(schemas[s1], schemas[s2]))
+        object_sims.append(_jaccard(objects[s1], objects[s2]))
+        pair_value = _pair_value_similarity(dataset, s1, s2)
+        if pair_value is not None:
+            value_sims.append(pair_value)
+
+    accuracy: Optional[float] = None
+    if gold is not None:
+        values = [
+            a
+            for a in (accuracy_of_source(dataset, gold, s) for s in members)
+            if a is not None
+        ]
+        accuracy = sum(values) / len(values) if values else None
+
+    def mean(values: List[float]) -> float:
+        return sum(values) / len(values) if values else 1.0
+
+    return CopyGroupStats(
+        members=list(members),
+        schema_similarity=mean(schema_sims),
+        object_similarity=mean(object_sims),
+        value_similarity=mean(value_sims),
+        average_accuracy=accuracy,
+    )
+
+
+def all_copy_group_stats(
+    dataset: Dataset,
+    groups: Sequence[Sequence[str]],
+    gold: Optional[GoldStandard] = None,
+) -> List[CopyGroupStats]:
+    """Table 5: stats for every copying group, largest first."""
+    rows = [copy_group_stats(dataset, group, gold) for group in groups]
+    rows.sort(key=lambda r: -r.size)
+    return rows

@@ -1,0 +1,96 @@
+"""Data redundancy measures (Section 3.1, Figures 2 and 3).
+
+Object redundancy of an object is the fraction of sources providing it;
+data-item redundancy of an item is the fraction of sources providing that
+item.  The figures plot the *complementary CDF*: the percentage of objects
+(items) whose redundancy exceeds each threshold x in {0, .1, ..., 1}.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.core.dataset import Dataset
+
+#: The x-axis of Figures 2 and 3.
+REDUNDANCY_THRESHOLDS: Sequence[float] = tuple(i / 10 for i in range(11))
+
+
+@dataclass
+class RedundancyProfile:
+    """Redundancy statistics of one snapshot."""
+
+    object_redundancy: Dict[str, float]
+    item_redundancy_values: List[float]
+
+    @property
+    def mean_object_redundancy(self) -> float:
+        values = list(self.object_redundancy.values())
+        return sum(values) / len(values) if values else 0.0
+
+    @property
+    def mean_item_redundancy(self) -> float:
+        values = self.item_redundancy_values
+        return sum(values) / len(values) if values else 0.0
+
+    def object_ccdf(self, thresholds: Sequence[float] = REDUNDANCY_THRESHOLDS) -> List[float]:
+        """Figure 2: fraction of objects with redundancy above each x."""
+        return _ccdf(list(self.object_redundancy.values()), thresholds)
+
+    def item_ccdf(self, thresholds: Sequence[float] = REDUNDANCY_THRESHOLDS) -> List[float]:
+        """Figure 3: fraction of data items with redundancy above each x."""
+        return _ccdf(self.item_redundancy_values, thresholds)
+
+
+def _ccdf(values: List[float], thresholds: Sequence[float]) -> List[float]:
+    if not values:
+        return [0.0 for _ in thresholds]
+    n = len(values)
+    return [sum(1 for v in values if v > x) / n for x in thresholds]
+
+
+def redundancy_profile(dataset: Dataset) -> RedundancyProfile:
+    """Compute object- and item-level redundancy for one snapshot."""
+    n_sources = dataset.num_sources
+    if n_sources == 0:
+        return RedundancyProfile({}, [])
+
+    providers_per_object: Dict[str, set] = {}
+    item_redundancy: List[float] = []
+    for item in dataset.items:
+        claims = dataset.claims_on(item)
+        item_redundancy.append(len(claims) / n_sources)
+        bucket = providers_per_object.setdefault(item.object_id, set())
+        bucket.update(claims.keys())
+
+    object_redundancy = {
+        obj: len(srcs) / n_sources for obj, srcs in providers_per_object.items()
+    }
+    return RedundancyProfile(
+        object_redundancy=object_redundancy,
+        item_redundancy_values=item_redundancy,
+    )
+
+
+def source_object_coverage(dataset: Dataset) -> Dict[str, float]:
+    """Fraction of the snapshot's objects each source provides."""
+    n_objects = dataset.num_objects
+    if n_objects == 0:
+        return {s: 0.0 for s in dataset.source_ids}
+    coverage: Dict[str, float] = {}
+    for source_id in dataset.source_ids:
+        objects = {item.object_id for item in dataset.claims_by(source_id)}
+        coverage[source_id] = len(objects) / n_objects
+    return coverage
+
+
+def source_item_coverage(dataset: Dataset) -> Dict[str, float]:
+    """Fraction of the snapshot's data items each source provides."""
+    n_items = dataset.num_items
+    if n_items == 0:
+        return {s: 0.0 for s in dataset.source_ids}
+    return {
+        source_id: len(dataset.claims_by(source_id)) / n_items
+        for source_id in dataset.source_ids
+    }

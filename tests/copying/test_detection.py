@@ -1,0 +1,136 @@
+"""Bayesian copy detection: true groups found, honest sources spared."""
+
+import numpy as np
+import pytest
+
+from repro.copying.detection import (
+    CopyDetectionResult,
+    detect_copying,
+    independence_weights,
+    known_groups_matrix,
+    selection_accuracy,
+)
+from repro.fusion.base import FusionProblem
+
+from tests.helpers import build_dataset
+
+
+def _vote_selection(problem):
+    return problem.argmax_per_item(problem.cluster_support.astype(float))
+
+
+class TestDetectionOnGenerated:
+    def test_stock_groups_detected_exactly(self, stock_problem, stock_collection):
+        selected = _vote_selection(stock_problem)
+        detection = detect_copying(
+            stock_problem,
+            selected,
+            selection_accuracy(stock_problem, selected),
+            min_overlap=10,  # tiny scale has fewer shared items
+        )
+        detected = {tuple(g) for g in detection.groups()}
+        truth = {tuple(g) for g in stock_collection.true_copy_groups()}
+        assert truth <= detected
+        # No honest source joins a detected group.
+        copiers_and_originals = {s for g in truth for s in g}
+        for group in detected:
+            extra = set(group) - copiers_and_originals
+            assert not extra, f"honest sources flagged: {extra}"
+
+    def test_flight_large_groups_detected(self, flight_problem, flight_collection):
+        selected = _vote_selection(flight_problem)
+        detection = detect_copying(
+            flight_problem,
+            selected,
+            selection_accuracy(flight_problem, selected),
+            min_overlap=10,
+        )
+        detected_sources = {s for g in detection.groups() for s in g}
+        for group in flight_collection.true_copy_groups():
+            if len(group) >= 4:
+                assert set(group) <= detected_sources
+
+    def test_probability_matrix_properties(self, stock_problem):
+        selected = _vote_selection(stock_problem)
+        detection = detect_copying(
+            stock_problem, selected, selection_accuracy(stock_problem, selected)
+        )
+        P = detection.probability
+        assert np.allclose(P, P.T)
+        assert np.all(np.diag(P) == 0)
+        assert np.all((P >= 0) & (P <= 1))
+
+    def test_agreement_gate_zero_floods(self, flight_problem):
+        """Disabling the gate reproduces the raw model's false positives."""
+        selected = _vote_selection(flight_problem)
+        accuracy = selection_accuracy(flight_problem, selected)
+        gated = detect_copying(flight_problem, selected, accuracy)
+        raw = detect_copying(
+            flight_problem, selected, accuracy, agreement_gate=0.0
+        )
+        assert (raw.probability > 0.5).sum() > (gated.probability > 0.5).sum()
+
+
+class TestSelectionAccuracy:
+    def test_range_and_shape(self, stock_problem):
+        selected = _vote_selection(stock_problem)
+        accuracy = selection_accuracy(stock_problem, selected)
+        assert accuracy.shape == (stock_problem.n_sources,)
+        assert np.all((accuracy >= 0) & (accuracy <= 1))
+
+    def test_perfect_agreement(self):
+        ds = build_dataset({
+            ("a", "o1", "price"): 10.0,
+            ("b", "o1", "price"): 10.0,
+        })
+        problem = FusionProblem(ds)
+        accuracy = selection_accuracy(problem, _vote_selection(problem))
+        assert np.allclose(accuracy, 1.0)
+
+
+class TestIndependenceWeights:
+    def test_no_dependence_keeps_full_weight(self, stock_problem):
+        dependence = np.zeros((stock_problem.n_sources, stock_problem.n_sources))
+        weights = independence_weights(stock_problem, dependence)
+        assert np.allclose(weights, 1.0)
+
+    def test_clique_members_share_one_vote(self):
+        claims = {(f"s{i}", "o1", "price"): 10.0 for i in range(5)}
+        claims[("honest", "o1", "price")] = 11.0
+        ds = build_dataset(claims)
+        problem = FusionProblem(ds)
+        groups = [[f"s{i}" for i in range(5)]]
+        dependence = known_groups_matrix(problem, groups)
+        weights = independence_weights(problem, dependence, copy_probability=1.0)
+        clique_total = sum(
+            weights[k]
+            for k in range(problem.n_claims)
+            if problem.sources[problem.claim_source[k]].startswith("s")
+        )
+        # Five mutually-dependent providers contribute ~one vote in total.
+        assert clique_total == pytest.approx(1.0, abs=0.3)
+        honest_weight = [
+            weights[k]
+            for k in range(problem.n_claims)
+            if problem.sources[problem.claim_source[k]] == "honest"
+        ][0]
+        assert honest_weight == pytest.approx(1.0)
+
+    def test_known_groups_matrix(self, stock_problem):
+        matrix = known_groups_matrix(stock_problem, [["fincontent", "merged_a"]])
+        i = stock_problem.source_index["fincontent"]
+        j = stock_problem.source_index["merged_a"]
+        assert matrix[i, j] == 1.0 and matrix[j, i] == 1.0
+        assert matrix.sum() == 2.0
+
+
+class TestGroupsHelper:
+    def test_pair_and_groups(self):
+        result = CopyDetectionResult(
+            sources=["a", "b", "c"],
+            probability=np.array(
+                [[0, 0.9, 0], [0.9, 0, 0], [0, 0, 0]], dtype=float
+            ),
+        )
+        assert result.pair("a", "b") == pytest.approx(0.9)
+        assert result.groups() == [["a", "b"]]

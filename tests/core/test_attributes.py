@@ -1,0 +1,74 @@
+"""Attribute specs, value kinds, and the attribute table."""
+
+import pytest
+
+from repro.core.attributes import (
+    AttributeSpec,
+    AttributeTable,
+    ValueKind,
+)
+from repro.errors import SchemaError
+
+
+class TestValueKind:
+    def test_numeric_kinds(self):
+        assert ValueKind.NUMERIC.is_numeric
+        assert ValueKind.PERCENT.is_numeric
+
+    def test_non_numeric_kinds(self):
+        assert not ValueKind.TIME.is_numeric
+        assert not ValueKind.STRING.is_numeric
+
+
+class TestAttributeSpec:
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            AttributeSpec("")
+
+    def test_bad_tolerance_rejected(self):
+        with pytest.raises(SchemaError):
+            AttributeSpec("x", tolerance_factor=0.0)
+
+    def test_numeric_matches_within_tolerance(self):
+        spec = AttributeSpec("price", ValueKind.NUMERIC)
+        assert spec.matches(10.0, 10.05, tolerance=0.1)
+        assert not spec.matches(10.0, 10.2, tolerance=0.1)
+
+    def test_time_matches_within_ten_minutes(self):
+        spec = AttributeSpec("depart", ValueKind.TIME)
+        assert spec.matches(600.0, 609.0, tolerance=0.0)
+        assert not spec.matches(600.0, 611.0, tolerance=0.0)
+
+    def test_string_matches_exactly(self):
+        spec = AttributeSpec("gate", ValueKind.STRING)
+        assert spec.matches("C1", "C1", tolerance=5.0)
+        assert not spec.matches("C1", "C2", tolerance=5.0)
+
+    def test_unparseable_values_fall_back_to_equality(self):
+        spec = AttributeSpec("price", ValueKind.NUMERIC)
+        assert spec.matches("n/a", "n/a", tolerance=1.0)
+        assert not spec.matches("n/a", 10.0, tolerance=1.0)
+
+
+class TestAttributeTable:
+    def test_from_specs_preserves_order(self):
+        table = AttributeTable.from_specs(
+            [AttributeSpec("b"), AttributeSpec("a")]
+        )
+        assert table.names == ["b", "a"]
+
+    def test_duplicate_rejected(self):
+        table = AttributeTable.from_specs([AttributeSpec("a")])
+        with pytest.raises(SchemaError):
+            table.add(AttributeSpec("a"))
+
+    def test_unknown_lookup_raises(self):
+        table = AttributeTable()
+        with pytest.raises(SchemaError):
+            table["missing"]
+
+    def test_contains_and_len(self):
+        table = AttributeTable.from_specs([AttributeSpec("a"), AttributeSpec("b")])
+        assert "a" in table
+        assert "c" not in table
+        assert len(table) == 2

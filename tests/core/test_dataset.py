@@ -1,0 +1,131 @@
+"""Dataset construction, views, tolerance caching, and source filtering."""
+
+import pytest
+
+from repro.core.attributes import AttributeSpec, AttributeTable, ValueKind
+from repro.core.dataset import Dataset, DatasetSeries
+from repro.core.records import Claim, DataItem, SourceMeta
+from repro.errors import SchemaError
+
+from tests.helpers import build_dataset
+
+
+class TestDatasetBuild:
+    def test_counts(self):
+        ds = build_dataset({
+            ("s1", "o1", "price"): 10.0,
+            ("s2", "o1", "price"): 10.0,
+            ("s1", "o2", "price"): 20.0,
+        })
+        assert ds.num_sources == 2
+        assert ds.num_objects == 2
+        assert ds.num_items == 2
+        assert ds.num_claims == 3
+
+    def test_unknown_source_rejected(self):
+        table = AttributeTable.from_specs([AttributeSpec("price")])
+        ds = Dataset(domain="t", day="d", attributes=table)
+        with pytest.raises(SchemaError):
+            ds.add_claim("ghost", DataItem("o", "price"), Claim(1.0))
+
+    def test_unknown_attribute_rejected(self):
+        table = AttributeTable.from_specs([AttributeSpec("price")])
+        ds = Dataset(domain="t", day="d", attributes=table)
+        ds.add_source(SourceMeta("s"))
+        with pytest.raises(SchemaError):
+            ds.add_claim("s", DataItem("o", "volume"), Claim(1.0))
+
+    def test_duplicate_source_rejected(self):
+        table = AttributeTable.from_specs([AttributeSpec("price")])
+        ds = Dataset(domain="t", day="d", attributes=table)
+        ds.add_source(SourceMeta("s"))
+        with pytest.raises(SchemaError):
+            ds.add_source(SourceMeta("s"))
+
+    def test_frozen_rejects_mutation(self):
+        ds = build_dataset({("s1", "o1", "price"): 10.0})
+        with pytest.raises(SchemaError):
+            ds.add_source(SourceMeta("late"))
+
+
+class TestDatasetViews:
+    def test_claims_on_item(self):
+        ds = build_dataset({
+            ("s1", "o1", "price"): 10.0,
+            ("s2", "o1", "price"): 11.0,
+        })
+        claims = ds.claims_on(DataItem("o1", "price"))
+        assert {s: c.value for s, c in claims.items()} == {"s1": 10.0, "s2": 11.0}
+
+    def test_value_of_missing_is_none(self):
+        ds = build_dataset({("s1", "o1", "price"): 10.0})
+        assert ds.value_of("s1", DataItem("o2", "price")) is None
+
+    def test_iter_claims_total(self):
+        ds = build_dataset({
+            ("s1", "o1", "price"): 10.0,
+            ("s2", "o1", "price"): 11.0,
+        })
+        assert len(list(ds.iter_claims())) == 2
+
+
+class TestTolerance:
+    def test_tolerance_uses_all_attribute_values(self):
+        ds = build_dataset({
+            ("s1", "o1", "price"): 10.0,
+            ("s2", "o1", "price"): 20.0,
+            ("s1", "o2", "price"): 30.0,
+        })
+        assert ds.tolerance("price") == pytest.approx(0.01 * 20.0)
+
+    def test_values_match_uses_tolerance(self):
+        ds = build_dataset({
+            ("s1", "o1", "price"): 100.0,
+            ("s2", "o1", "price"): 100.5,
+        })
+        # tolerance = 1% of median(100, 100.5)
+        assert ds.values_match("price", 100.0, 100.5)
+        assert not ds.values_match("price", 100.0, 103.0)
+
+    def test_clustering_cached_when_frozen(self):
+        ds = build_dataset({("s1", "o1", "price"): 10.0})
+        item = DataItem("o1", "price")
+        assert ds.clustering(item) is ds.clustering(item)
+
+
+class TestWithoutSources:
+    def test_removes_claims_and_sources(self):
+        ds = build_dataset({
+            ("s1", "o1", "price"): 10.0,
+            ("s2", "o1", "price"): 11.0,
+        })
+        reduced = ds.without_sources(["s2"])
+        assert reduced.num_sources == 1
+        assert reduced.num_claims == 1
+        # original untouched
+        assert ds.num_claims == 2
+
+    def test_restricted_to_sources(self):
+        ds = build_dataset({
+            ("s1", "o1", "price"): 10.0,
+            ("s2", "o1", "price"): 11.0,
+            ("s3", "o1", "price"): 12.0,
+        })
+        kept = ds.restricted_to_sources(["s1", "s3"])
+        assert sorted(kept.source_ids) == ["s1", "s3"]
+
+
+class TestDatasetSeries:
+    def test_series_rejects_other_domain(self):
+        series = DatasetSeries(domain="stock")
+        other = build_dataset({("s1", "o1", "price"): 1.0}, domain="flight")
+        with pytest.raises(SchemaError):
+            series.add(other)
+
+    def test_snapshot_lookup(self):
+        series = DatasetSeries(domain="test")
+        ds = build_dataset({("s1", "o1", "price"): 1.0}, day="2011-07-07")
+        series.add(ds)
+        assert series.snapshot("2011-07-07") is ds
+        with pytest.raises(SchemaError):
+            series.snapshot("2011-07-08")

@@ -1,0 +1,106 @@
+"""Gold-standard construction by authority voting (Section 2.2)."""
+
+import pytest
+
+from repro.core.attributes import AttributeSpec, AttributeTable
+from repro.core.dataset import Dataset
+from repro.core.gold import (
+    accuracy_of_source,
+    build_gold_standard,
+    coverage_of_source,
+    recall_of_source,
+)
+from repro.core.records import Claim, DataItem, SourceMeta
+from repro.errors import GoldStandardError
+
+from tests.helpers import build_dataset, build_gold
+
+
+def _authority_dataset():
+    table = AttributeTable.from_specs([AttributeSpec("price")])
+    ds = Dataset(domain="t", day="d", attributes=table)
+    for sid, authority in (("a1", True), ("a2", True), ("a3", True), ("web", False)):
+        ds.add_source(SourceMeta(sid, is_authority=authority))
+    item = DataItem("o1", "price")
+    ds.add_claim("a1", item, Claim(10.0))
+    ds.add_claim("a2", item, Claim(10.0))
+    ds.add_claim("a3", item, Claim(99.0))
+    ds.add_claim("web", item, Claim(50.0))
+    # o2 covered by too few authorities
+    ds.add_claim("a1", DataItem("o2", "price"), Claim(20.0))
+    return ds.freeze()
+
+
+class TestBuildGoldStandard:
+    def test_majority_vote_among_authorities(self):
+        ds = _authority_dataset()
+        gold = build_gold_standard(ds, ["o1", "o2"], min_providers=3)
+        assert gold[DataItem("o1", "price")] == 10.0
+
+    def test_min_providers_filters_items(self):
+        ds = _authority_dataset()
+        gold = build_gold_standard(ds, ["o1", "o2"], min_providers=3)
+        assert DataItem("o2", "price") not in gold
+
+    def test_gold_objects_filter(self):
+        ds = _authority_dataset()
+        with pytest.raises(GoldStandardError):
+            build_gold_standard(ds, ["o3"], min_providers=1)
+
+    def test_explicit_authorities(self):
+        ds = _authority_dataset()
+        gold = build_gold_standard(
+            ds, ["o1"], min_providers=1, authority_ids=["a3"]
+        )
+        assert gold[DataItem("o1", "price")] == 99.0
+
+    def test_no_authorities_raises(self):
+        ds = build_dataset({("s1", "o1", "price"): 1.0})
+        with pytest.raises(GoldStandardError):
+            build_gold_standard(ds, ["o1"])
+
+
+class TestSourceScores:
+    def test_accuracy(self):
+        ds = build_dataset({
+            ("s1", "o1", "price"): 10.0,
+            ("s1", "o2", "price"): 99.0,
+            ("s2", "o1", "price"): 10.0,
+        })
+        gold = build_gold({("o1", "price"): 10.0, ("o2", "price"): 20.0})
+        assert accuracy_of_source(ds, gold, "s1") == pytest.approx(0.5)
+        assert accuracy_of_source(ds, gold, "s2") == pytest.approx(1.0)
+
+    def test_accuracy_none_when_no_gold_items(self):
+        ds = build_dataset({("s1", "o9", "price"): 10.0})
+        gold = build_gold({("o1", "price"): 10.0})
+        assert accuracy_of_source(ds, gold, "s1") is None
+
+    def test_coverage(self):
+        ds = build_dataset({("s1", "o1", "price"): 10.0})
+        gold = build_gold({("o1", "price"): 10.0, ("o2", "price"): 20.0})
+        assert coverage_of_source(ds, gold, "s1") == pytest.approx(0.5)
+
+    def test_recall_is_coverage_times_accuracy(self):
+        ds = build_dataset({
+            ("s1", "o1", "price"): 10.0,
+            ("s1", "o2", "price"): 999.0,
+        })
+        gold = build_gold({
+            ("o1", "price"): 10.0,
+            ("o2", "price"): 20.0,
+            ("o3", "price"): 30.0,
+        })
+        # covers 2/3 of gold, right on 1 of them
+        assert recall_of_source(ds, gold, "s1") == pytest.approx(1 / 3)
+
+
+class TestGoldOnGenerated:
+    def test_gold_items_cover_only_gold_objects(self, stock_collection):
+        gold = stock_collection.gold
+        assert gold.objects <= set(stock_collection.gold_objects)
+
+    def test_authority_accuracy_is_high(self, stock_collection):
+        ds, gold = stock_collection.snapshot, stock_collection.gold
+        acc = accuracy_of_source(ds, gold, "google_finance")
+        assert acc is not None and acc > 0.8

@@ -1,0 +1,56 @@
+"""Record types: data items, claims, source metadata."""
+
+import pytest
+
+from repro.core.records import (
+    Claim,
+    DataItem,
+    ErrorReason,
+    SourceMeta,
+)
+
+
+class TestDataItem:
+    def test_is_hashable_pair(self):
+        a = DataItem("AAPL", "price")
+        b = DataItem("AAPL", "price")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert {a: 1}[b] == 1
+
+    def test_fields(self):
+        item = DataItem("AAPL", "price")
+        assert item.object_id == "AAPL"
+        assert item.attribute == "price"
+
+
+class TestClaim:
+    def test_defaults(self):
+        claim = Claim(10.0)
+        assert claim.granularity is None
+        assert claim.reason is None
+        assert not claim.is_rounded
+
+    def test_rounded(self):
+        claim = Claim(8e6, granularity=1e6)
+        assert claim.is_rounded
+
+    def test_with_reason(self):
+        claim = Claim(10.0).with_reason(ErrorReason.OUT_OF_DATE)
+        assert claim.reason is ErrorReason.OUT_OF_DATE
+        assert claim.value == 10.0
+
+
+class TestSourceMeta:
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError):
+            SourceMeta("")
+
+    def test_display_name_falls_back_to_id(self):
+        assert SourceMeta("abc").display_name == "abc"
+        assert SourceMeta("abc", name="ABC Inc").display_name == "ABC Inc"
+
+    def test_copier_metadata(self):
+        meta = SourceMeta("mirror", copies_from="orig", copy_rate=0.99)
+        assert meta.copies_from == "orig"
+        assert meta.copy_rate == pytest.approx(0.99)

@@ -1,0 +1,166 @@
+"""Tolerance, bucketing, and clustering (Section 3.2 mechanics)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.attributes import AttributeSpec, ValueKind
+from repro.core.records import Claim
+from repro.core.tolerance import (
+    ItemClustering,
+    attribute_tolerance,
+    cluster_claims,
+)
+
+NUMERIC = AttributeSpec("price", ValueKind.NUMERIC)
+TIME = AttributeSpec("depart", ValueKind.TIME)
+STRING = AttributeSpec("gate", ValueKind.STRING)
+
+
+def _claims(values):
+    return {f"s{i}": Claim(value=v) for i, v in enumerate(values)}
+
+
+class TestAttributeTolerance:
+    def test_numeric_is_alpha_times_median(self):
+        tol = attribute_tolerance(NUMERIC, [10.0, 20.0, 30.0])
+        assert tol == pytest.approx(0.01 * 20.0)
+
+    def test_even_count_uses_middle_average(self):
+        tol = attribute_tolerance(NUMERIC, [10.0, 20.0, 30.0, 40.0])
+        assert tol == pytest.approx(0.01 * 25.0)
+
+    def test_time_tolerance_is_ten_minutes(self):
+        assert attribute_tolerance(TIME, [100.0, 5000.0]) == 10.0
+
+    def test_string_tolerance_is_zero(self):
+        assert attribute_tolerance(STRING, []) == 0.0
+
+    def test_empty_numeric_values(self):
+        assert attribute_tolerance(NUMERIC, []) == 0.0
+
+    def test_negative_values_use_absolute_median(self):
+        tol = attribute_tolerance(NUMERIC, [-10.0, -20.0, -30.0])
+        assert tol == pytest.approx(0.2)
+
+
+class TestClusterClaims:
+    def test_exact_duplicates_merge(self):
+        clustering = cluster_claims(_claims([10.0, 10.0, 10.0]), NUMERIC, 0.1)
+        assert clustering.num_values == 1
+        assert clustering.dominant.support == 3
+
+    def test_within_tolerance_merge(self):
+        clustering = cluster_claims(_claims([10.0, 10.0, 10.04]), NUMERIC, 0.1)
+        assert clustering.num_values == 1
+
+    def test_beyond_tolerance_split(self):
+        clustering = cluster_claims(_claims([10.0, 10.0, 11.0]), NUMERIC, 0.1)
+        assert clustering.num_values == 2
+        assert clustering.dominant.representative == 10.0
+
+    def test_buckets_are_centered_on_dominant_value(self):
+        # v0 = 10.0 (2 providers); 10.06 falls in the next bucket
+        # ((10.05, 10.15]) even though it is within 0.1 of one provider.
+        clustering = cluster_claims(_claims([10.0, 10.0, 10.06]), NUMERIC, 0.1)
+        assert clustering.num_values == 2
+
+    def test_strings_cluster_exactly(self):
+        clustering = cluster_claims(_claims(["C1", "C1", "B2"]), STRING, 0.0)
+        assert clustering.num_values == 2
+        assert clustering.dominant.representative == "C1"
+
+    def test_dominant_tie_breaks_deterministically(self):
+        clustering = cluster_claims(_claims([10.0, 20.0]), NUMERIC, 0.01)
+        assert clustering.dominant.representative == 10.0
+
+    def test_empty_claims(self):
+        clustering = cluster_claims({}, NUMERIC, 0.1)
+        assert clustering.clusters == []
+
+    def test_providers_recorded_per_cluster(self):
+        clustering = cluster_claims(
+            {"a": Claim(10.0), "b": Claim(10.0), "c": Claim(99.0)}, NUMERIC, 0.1
+        )
+        assert set(clustering.dominant.providers) == {"a", "b"}
+
+
+class TestClusteringMeasures:
+    def test_single_value_entropy_zero(self):
+        clustering = cluster_claims(_claims([5.0, 5.0]), NUMERIC, 0.1)
+        assert clustering.entropy() == 0.0
+
+    def test_uniform_two_values_entropy_one(self):
+        clustering = cluster_claims(_claims([5.0, 50.0]), NUMERIC, 0.1)
+        assert clustering.entropy() == pytest.approx(1.0)
+
+    def test_dominance_factor(self):
+        clustering = cluster_claims(_claims([5.0, 5.0, 5.0, 50.0]), NUMERIC, 0.1)
+        assert clustering.dominance_factor == pytest.approx(0.75)
+
+    def test_relative_deviation(self):
+        clustering = cluster_claims(_claims([10.0, 10.0, 12.0]), NUMERIC, 0.1)
+        # values 10 (dominant) and 12: D = sqrt(mean([0, (2/10)^2]))
+        assert clustering.deviation(ValueKind.NUMERIC) == pytest.approx(
+            math.sqrt(0.04 / 2)
+        )
+
+    def test_time_deviation_in_minutes(self):
+        clustering = cluster_claims(_claims([600.0, 600.0, 630.0]), TIME, 10.0)
+        assert clustering.deviation(ValueKind.TIME) == pytest.approx(
+            math.sqrt(900.0 / 2)
+        )
+
+    def test_string_deviation_is_none(self):
+        clustering = cluster_claims(_claims(["A", "B"]), STRING, 0.0)
+        assert clustering.deviation(ValueKind.STRING) is None
+
+    def test_zero_dominant_relative_deviation_is_none(self):
+        clustering = cluster_claims(_claims([0.0, 0.0, 5.0]), NUMERIC, 0.1)
+        assert clustering.deviation(ValueKind.NUMERIC) is None
+
+
+@given(
+    values=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=30,
+    ),
+    tolerance=st.floats(min_value=1e-3, max_value=1e3),
+)
+@settings(max_examples=200, deadline=None)
+def test_clustering_invariants(values, tolerance):
+    """Bucketing partitions the providers; measures stay in range."""
+    clustering = cluster_claims(_claims(values), NUMERIC, tolerance)
+    # Partition: every provider in exactly one cluster.
+    providers = [s for c in clustering.clusters for s in c.providers]
+    assert len(providers) == len(values)
+    assert len(set(providers)) == len(values)
+    # Ordering: supports are non-increasing.
+    supports = [c.support for c in clustering.clusters]
+    assert supports == sorted(supports, reverse=True)
+    # Entropy bounds: 0 <= E <= log2(#clusters).
+    entropy = clustering.entropy()
+    assert entropy >= 0.0
+    assert entropy <= math.log2(max(clustering.num_values, 1)) + 1e-9
+    # Dominance factor in (0, 1].
+    assert 0.0 < clustering.dominance_factor <= 1.0
+
+
+@given(
+    values=st.lists(
+        st.floats(min_value=1.0, max_value=1e4, allow_nan=False),
+        min_size=2,
+        max_size=20,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_members_within_bucket_width_of_each_other(values):
+    """Any two members of a cluster differ by at most the bucket width."""
+    tolerance = 1.0
+    clustering = cluster_claims(_claims(values), NUMERIC, tolerance)
+    for cluster in clustering.clusters:
+        members = [float(v) for v in cluster.providers.values()]
+        assert max(members) - min(members) <= tolerance + 1e-9

@@ -1,0 +1,116 @@
+"""Flight world and collection invariants."""
+
+import pytest
+
+from repro.core.records import SourceCategory
+from repro.datagen.flight import (
+    FLIGHT_ATTRIBUTES,
+    FlightConfig,
+    FlightWorld,
+    generate_flight_collection,
+)
+from repro.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def world():
+    return FlightWorld(n_objects=50, num_days=4, seed=3)
+
+
+class TestFlightWorld:
+    def test_six_examined_attributes(self):
+        assert len(FLIGHT_ATTRIBUTES) == 6
+
+    def test_every_flight_touches_a_hub(self, world):
+        hubs = {"DFW", "ORD", "IAH"}
+        for obj in world.object_ids:
+            dep, arr = world.airports_of(obj)
+            assert dep in hubs or arr in hubs
+
+    def test_times_are_valid_minutes(self, world):
+        for obj in world.object_ids[:10]:
+            for attr in ("Scheduled departure", "Scheduled arrival",
+                         "Actual departure", "Actual arrival"):
+                value = world.true_value(obj, attr, 1)
+                assert 0 <= float(value) < 24 * 60
+
+    def test_gates_look_like_gates(self, world):
+        gate = world.true_value(world.object_ids[0], "Departure gate", 0)
+        assert isinstance(gate, str)
+        assert gate[0] in "ABCDE"
+        assert gate[1:].isdigit()
+
+    def test_takeoff_variant_is_later_than_gate_departure(self, world):
+        obj = world.object_ids[4]
+        actual = float(world.true_value(obj, "Actual departure", 1))
+        takeoff = float(world.variant_value(obj, "Actual departure", 1, "takeoff"))
+        diff = (takeoff - actual) % 1440
+        assert 10 <= diff <= 35
+
+    def test_pure_error_gate_differs(self, world):
+        import numpy as np
+        rng = np.random.default_rng(0)
+        truth = world.true_value(world.object_ids[0], "Arrival gate", 0)
+        wrong = world.pure_error_value(
+            world.object_ids[0], "Arrival gate", 0, truth, rng
+        )
+        assert wrong != truth
+
+    def test_pure_error_time_uses_default(self, world):
+        import numpy as np
+        rng = np.random.default_rng(0)
+        assert (
+            world.pure_error_value(
+                world.object_ids[0], "Actual departure", 0, 600.0, rng
+            )
+            is None
+        )
+
+
+class TestFlightCollection:
+    def test_population_composition(self, flight_collection):
+        profiles = flight_collection.profiles
+        assert len(profiles) == 38
+        airlines = [
+            p for p in profiles if p.meta.category is SourceCategory.AIRLINE
+        ]
+        airports = [
+            p for p in profiles if p.meta.category is SourceCategory.AIRPORT
+        ]
+        assert len(airlines) == 3
+        assert len(airports) == 8
+
+    def test_copy_groups_match_table5(self, flight_collection):
+        sizes = sorted(len(g) for g in flight_collection.true_copy_groups())
+        assert sizes == [2, 2, 3, 4, 5]
+
+    def test_airlines_cover_only_their_flights(self, flight_collection):
+        snapshot = flight_collection.snapshot
+        world = flight_collection.world
+        claims = snapshot.claims_by("airline_aa")
+        airlines = {world.airline_of(item.object_id) for item in claims}
+        assert airlines == {"AA"}
+
+    def test_airport_coverage_is_small(self, flight_collection):
+        snapshot = flight_collection.snapshot
+        airport_sources = [
+            s for s, m in snapshot.sources.items()
+            if m.category is SourceCategory.AIRPORT
+        ]
+        for source_id in airport_sources:
+            objects = {i.object_id for i in snapshot.claims_by(source_id)}
+            assert len(objects) < snapshot.num_objects / 2
+
+    def test_gold_uses_airline_authority(self, flight_collection):
+        gold = flight_collection.gold
+        world = flight_collection.world
+        snapshot = flight_collection.snapshot
+        for item in list(gold.items)[:20]:
+            airline = world.airline_of(item.object_id)
+            source_id = f"airline_{airline.lower()}"
+            assert snapshot.value_of(source_id, item) is not None
+
+    def test_config_scales(self):
+        assert FlightConfig.paper_scale().n_objects == 1200
+        with pytest.raises(ConfigError):
+            FlightConfig(num_days=99).day_labels()

@@ -1,0 +1,75 @@
+"""SourceProfile validation and helpers."""
+
+import pytest
+
+from repro.core.records import ErrorReason, SourceMeta
+from repro.datagen.profiles import SourceProfile
+from repro.errors import ConfigError
+
+
+def _profile(**overrides):
+    defaults = dict(
+        meta=SourceMeta("s1"),
+        schema=("price",),
+    )
+    defaults.update(overrides)
+    return SourceProfile(**defaults)
+
+
+class TestValidation:
+    def test_empty_schema_rejected(self):
+        with pytest.raises(ConfigError):
+            _profile(schema=())
+
+    def test_error_rate_bounds(self):
+        with pytest.raises(ConfigError):
+            _profile(error_rate=1.5)
+        with pytest.raises(ConfigError):
+            _profile(error_rate=-0.1)
+
+    def test_coverage_bounds(self):
+        with pytest.raises(ConfigError):
+            _profile(object_coverage=2.0)
+
+    def test_error_mix_reason_whitelist(self):
+        with pytest.raises(ConfigError):
+            _profile(error_mix={ErrorReason.SEMANTICS_AMBIGUITY: 1.0})
+
+    def test_error_mix_weights_positive(self):
+        with pytest.raises(ConfigError):
+            _profile(error_mix={ErrorReason.PURE_ERROR: 0.0})
+
+    def test_valid_profile(self):
+        profile = _profile(
+            error_mix={ErrorReason.OUT_OF_DATE: 1.0, ErrorReason.PURE_ERROR: 2.0}
+        )
+        assert profile.source_id == "s1"
+
+
+class TestHelpers:
+    def test_is_copier(self):
+        assert not _profile().is_copier
+        copier = _profile(meta=SourceMeta("m", copies_from="orig"))
+        assert copier.is_copier
+
+    def test_error_rate_on_volatile_day(self):
+        profile = _profile(
+            error_rate=0.1, volatile_days=frozenset({3}), volatile_factor=5.0
+        )
+        assert profile.error_rate_on(0) == pytest.approx(0.1)
+        assert profile.error_rate_on(3) == pytest.approx(0.5)
+
+    def test_volatile_rate_capped_at_one(self):
+        profile = _profile(
+            error_rate=0.5, volatile_days=frozenset({0}), volatile_factor=10.0
+        )
+        assert profile.error_rate_on(0) == 1.0
+
+    def test_effective_schema_prefers_full(self):
+        profile = _profile(schema=("price",), full_schema=("price", "beta"))
+        assert profile.effective_schema() == ("price", "beta")
+
+    def test_local_label_fallback(self):
+        profile = _profile(local_names={"price": "Last"})
+        assert profile.local_label("price") == "Last"
+        assert profile.local_label("volume") == "volume"

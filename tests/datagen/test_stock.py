@@ -1,0 +1,111 @@
+"""Stock world and collection invariants."""
+
+import pytest
+
+from repro.core.records import SourceCategory
+from repro.datagen.stock import (
+    STOCK_ATTRIBUTES,
+    StockConfig,
+    StockWorld,
+    generate_stock_collection,
+)
+from repro.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def world():
+    return StockWorld(n_objects=40, num_days=5, seed=2, n_terminated=3)
+
+
+class TestStockWorld:
+    def test_sixteen_examined_attributes(self):
+        assert len(STOCK_ATTRIBUTES) == 16
+
+    def test_accounting_identities(self, world):
+        obj = world.object_ids[0]
+        price = world.true_value(obj, "Last price", 2)
+        prev = world.true_value(obj, "Previous close", 2)
+        change = world.true_value(obj, "Today's change ($)", 2)
+        assert change == pytest.approx(price - prev)
+        pct = world.true_value(obj, "Today's change (%)", 2)
+        assert pct == pytest.approx(100 * change / prev)
+
+    def test_previous_close_is_yesterdays_close(self, world):
+        obj = world.object_ids[3]
+        assert world.true_value(obj, "Previous close", 3) == pytest.approx(
+            world.true_value(obj, "Last price", 2)
+        )
+
+    def test_high_low_bracket_prices(self, world):
+        for day in range(3):
+            obj = world.object_ids[5]
+            high = world.true_value(obj, "Today's high price", day)
+            low = world.true_value(obj, "Today's low price", day)
+            close = world.true_value(obj, "Last price", day)
+            assert low <= close <= high
+
+    def test_52_week_range_brackets_daily_range(self, world):
+        obj = world.object_ids[7]
+        assert world.true_value(obj, "52-week low price", 2) <= world.true_value(
+            obj, "Today's low price", 2
+        )
+        assert world.true_value(obj, "52-week high price", 2) >= world.true_value(
+            obj, "Today's high price", 2
+        )
+
+    def test_market_cap_is_price_times_shares(self, world):
+        obj = world.object_ids[1]
+        cap = world.true_value(obj, "Market cap", 1)
+        price = world.true_value(obj, "Last price", 1)
+        shares = world.true_value(obj, "Shares outstanding", 1)
+        assert cap == pytest.approx(price * shares)
+
+    def test_variant_dividend_quarter(self, world):
+        obj = world.object_ids[2]
+        annual = world.true_value(obj, "Dividend", 0)
+        quarterly = world.variant_value(obj, "Dividend", 0, "quarterly")
+        assert quarterly == pytest.approx(annual / 4)
+
+    def test_unknown_variant_rejected(self, world):
+        with pytest.raises(ConfigError):
+            world.variant_value(world.object_ids[0], "Last price", 0, "bogus")
+
+    def test_terminated_symbols_have_aliases(self, world):
+        assert len(world.aliased_objects) == 3
+        for symbol, alias in world.aliased_objects.items():
+            assert alias in world.object_ids
+            assert alias != symbol
+
+    def test_too_small_world_rejected(self):
+        with pytest.raises(ConfigError):
+            StockWorld(n_objects=5)
+
+
+class TestStockCollection:
+    def test_population_composition(self, stock_collection):
+        profiles = stock_collection.profiles
+        assert len(profiles) == 55
+        authorities = [p for p in profiles if p.meta.is_authority]
+        assert len(authorities) == 5
+        copiers = [p for p in profiles if p.is_copier]
+        assert len(copiers) == 11  # 10 feed mirrors + 1 merged site
+
+    def test_copy_groups_match_table5(self, stock_collection):
+        sizes = sorted(len(g) for g in stock_collection.true_copy_groups())
+        assert sizes == [2, 11]
+
+    def test_snapshot_days(self, stock_collection):
+        assert len(stock_collection.series) == 3
+        assert stock_collection.report_day in stock_collection.series.days
+
+    def test_gold_standard_nonempty_every_day(self, stock_collection):
+        for day in stock_collection.series.days:
+            assert len(stock_collection.gold_for(day)) > 0
+
+    def test_config_scales(self):
+        assert StockConfig.paper_scale().n_objects == 1000
+        assert StockConfig.tiny().n_objects < StockConfig.small().n_objects
+
+    def test_too_many_days_rejected(self):
+        with pytest.raises(ConfigError):
+            StockConfig(num_days=99).day_labels()

@@ -1,0 +1,48 @@
+"""Method-pair comparison (Table 8)."""
+
+import pytest
+
+from repro.core.records import DataItem
+from repro.evaluation.compare import TABLE8_PAIRS, compare_methods
+from repro.fusion.base import FusionResult
+
+from tests.helpers import build_dataset, build_gold
+
+
+class TestCompareMethods:
+    def test_fixed_and_new_errors(self):
+        ds = build_dataset({("s1", "o1", "price"): 10.0,
+                            ("s1", "o2", "price"): 20.0})
+        gold = build_gold({("o1", "price"): 10.0, ("o2", "price"): 20.0})
+        basic = FusionResult(
+            method="basic",
+            selected={DataItem("o1", "price"): 99.0,
+                      DataItem("o2", "price"): 20.0},
+            trust={},
+        )
+        advanced = FusionResult(
+            method="advanced",
+            selected={DataItem("o1", "price"): 10.0,
+                      DataItem("o2", "price"): 555.0},
+            trust={},
+        )
+        row = compare_methods(ds, gold, basic, advanced)
+        assert row.fixed_errors == 1
+        assert row.new_errors == 1
+        assert row.precision_delta == pytest.approx(0.0)
+
+    def test_identical_results(self):
+        ds = build_dataset({("s1", "o1", "price"): 10.0})
+        gold = build_gold({("o1", "price"): 10.0})
+        result = FusionResult(
+            method="m", selected={DataItem("o1", "price"): 10.0}, trust={}
+        )
+        row = compare_methods(ds, gold, result, result)
+        assert row.fixed_errors == row.new_errors == 0
+        assert row.precision_delta == 0.0
+
+    def test_table8_pairs_reference_known_methods(self):
+        from repro.fusion.registry import METHOD_NAMES
+        for basic, advanced in TABLE8_PAIRS:
+            assert basic in METHOD_NAMES
+            assert advanced in METHOD_NAMES

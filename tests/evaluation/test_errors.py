@@ -1,0 +1,107 @@
+"""Fusion-error diagnosis (Figure 11)."""
+
+import pytest
+
+from repro.core.records import DataItem
+from repro.evaluation.errors import (
+    ERROR_CATEGORIES,
+    analyze_errors,
+    classify_error,
+    _is_finer_granularity,
+)
+from repro.fusion.base import FusionResult
+
+from tests.helpers import build_dataset, build_gold
+
+
+class TestFinerGranularity:
+    def test_rounds_onto_truth(self):
+        assert _is_finer_granularity(7_528_396.0, 8e6)
+        assert _is_finer_granularity(10.04, 10.0)
+
+    def test_not_related(self):
+        assert not _is_finer_granularity(7_000_000.0, 8e6)
+
+    def test_strings(self):
+        assert not _is_finer_granularity("A1", "B2")
+
+
+class TestClassifyError:
+    def _scenario(self):
+        ds = build_dataset({
+            ("s1", "o1", "price"): 55.0,
+            ("s2", "o1", "price"): 55.0,
+            ("s3", "o1", "price"): 55.0,
+            ("s4", "o1", "price"): 10.0,
+        })
+        gold = build_gold({("o1", "price"): 10.0})
+        item = DataItem("o1", "price")
+        result = FusionResult(method="m", selected={item: 55.0}, trust={})
+        return ds, gold, item, result
+
+    def test_fixed_by_trust(self):
+        ds, gold, item, result = self._scenario()
+        label = classify_error(
+            ds, gold, item, result,
+            fixed_by_trust=True, fixed_by_copying=False, sampled_accuracy={},
+        )
+        assert label == "Imprecise trustworthiness"
+
+    def test_fixed_by_copying(self):
+        ds, gold, item, result = self._scenario()
+        label = classify_error(
+            ds, gold, item, result,
+            fixed_by_trust=False, fixed_by_copying=True, sampled_accuracy={},
+        )
+        assert label == "Not considering correct copying"
+
+    def test_dominant_false_value(self):
+        ds, gold, item, result = self._scenario()
+        label = classify_error(
+            ds, gold, item, result,
+            fixed_by_trust=False, fixed_by_copying=False, sampled_accuracy={},
+        )
+        assert label == '"False" value dominant'
+
+    def test_high_accuracy_sources(self):
+        ds = build_dataset({
+            ("good1", "o1", "price"): 55.0,
+            ("good2", "o1", "price"): 55.0,
+            ("meh1", "o1", "price"): 10.0,
+            ("meh2", "o1", "price"): 10.0,
+        })
+        gold = build_gold({("o1", "price"): 10.0})
+        item = DataItem("o1", "price")
+        result = FusionResult(method="m", selected={item: 55.0}, trust={})
+        label = classify_error(
+            ds, gold, item, result,
+            fixed_by_trust=False, fixed_by_copying=False,
+            sampled_accuracy={"good1": 0.99, "good2": 0.98,
+                              "meh1": 0.6, "meh2": 0.6},
+        )
+        assert label == '"False" value provided by high-accuracy sources'
+
+
+class TestAnalyzeErrors:
+    def test_full_pipeline_on_generated(self, stock_snapshot, stock_gold,
+                                        stock_problem, stock_collection):
+        from repro.fusion.registry import make_method
+        from repro.fusion.copy_aware import AccuCopy
+        from repro.fusion.trust import sample_trust, sampled_accuracy
+
+        name = "AccuFormatAttr"
+        result = make_method(name).run(stock_problem)
+        sample = sample_trust(name, stock_snapshot, stock_gold)
+        with_trust = make_method(name).run(
+            stock_problem, trust_seed=sample, freeze_trust=True
+        )
+        with_copying = AccuCopy(
+            known_groups=stock_collection.true_copy_groups()
+        ).run(stock_problem, trust_seed=sample, freeze_trust=True)
+        analysis = analyze_errors(
+            stock_snapshot, stock_gold, result, with_trust, with_copying,
+            sampled_accuracy(stock_snapshot, stock_gold),
+        )
+        assert analysis.method == name
+        assert set(analysis.counts) <= set(ERROR_CATEGORIES)
+        assert sum(analysis.counts.values()) <= 20

@@ -1,0 +1,91 @@
+"""Precision/recall scoring and dominance-bucketed precision."""
+
+import pytest
+
+from repro.core.records import DataItem
+from repro.evaluation.metrics import (
+    error_items,
+    evaluate,
+    precision_by_dominance,
+)
+from repro.fusion.base import FusionResult
+
+from tests.helpers import build_dataset, build_gold
+
+
+@pytest.fixture()
+def scenario():
+    ds = build_dataset({
+        ("s1", "o1", "price"): 10.0,
+        ("s2", "o1", "price"): 10.0,
+        ("s1", "o2", "price"): 20.0,
+        ("s1", "o3", "price"): 30.0,
+    })
+    gold = build_gold({
+        ("o1", "price"): 10.0,
+        ("o2", "price"): 20.0,
+        ("o3", "price"): 99.0,  # result will be wrong here
+        ("o4", "price"): 40.0,  # not output at all
+    })
+    result = FusionResult(
+        method="t",
+        selected={
+            DataItem("o1", "price"): 10.0,
+            DataItem("o2", "price"): 20.0,
+            DataItem("o3", "price"): 30.0,
+        },
+        trust={},
+    )
+    return ds, gold, result
+
+
+class TestEvaluate:
+    def test_precision_over_output(self, scenario):
+        ds, gold, result = scenario
+        score = evaluate(ds, gold, result)
+        assert score.precision == pytest.approx(2 / 3)
+
+    def test_recall_over_gold(self, scenario):
+        ds, gold, result = scenario
+        score = evaluate(ds, gold, result)
+        assert score.recall == pytest.approx(2 / 4)
+
+    def test_errors_listed(self, scenario):
+        ds, gold, result = scenario
+        score = evaluate(ds, gold, result)
+        assert score.errors == [DataItem("o3", "price")]
+
+    def test_tolerance_aware_match(self, scenario):
+        ds, gold, _ = scenario
+        near = FusionResult(
+            method="t", selected={DataItem("o1", "price"): 10.05}, trust={}
+        )
+        assert evaluate(ds, gold, near).precision == 1.0
+
+    def test_recall_equals_precision_when_all_output(self):
+        ds = build_dataset({("s1", "o1", "price"): 10.0})
+        gold = build_gold({("o1", "price"): 10.0})
+        result = FusionResult(
+            method="t", selected={DataItem("o1", "price"): 10.0}, trust={}
+        )
+        score = evaluate(ds, gold, result)
+        assert score.precision == score.recall == 1.0
+
+
+class TestErrorItems:
+    def test_missing_items_count_as_errors(self, scenario):
+        ds, gold, result = scenario
+        wrong = error_items(ds, gold, result)
+        assert DataItem("o3", "price") in wrong
+        assert DataItem("o4", "price") in wrong
+        assert DataItem("o1", "price") not in wrong
+
+
+class TestPrecisionByDominance:
+    def test_buckets(self, scenario):
+        ds, gold, result = scenario
+        curve = precision_by_dominance(ds, gold, result)
+        assert set(curve) == {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+        # items o1..o3 all have dominance 1.0 -> bucket 0.9
+        assert curve[0.9] == pytest.approx(2 / 3)
+        assert curve[0.1] is None

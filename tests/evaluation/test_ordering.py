@@ -1,0 +1,76 @@
+"""Source ordering and incremental-recall curves (Figure 9)."""
+
+import pytest
+
+from repro.evaluation.ordering import (
+    RecallCurve,
+    recall_as_sources_added,
+    sources_by_recall,
+)
+
+from tests.helpers import build_dataset, build_gold
+
+
+@pytest.fixture()
+def scenario():
+    ds = build_dataset({
+        ("full", "o1", "price"): 10.0,
+        ("full", "o2", "price"): 20.0,
+        ("half", "o1", "price"): 10.0,
+        ("wrong", "o1", "price"): 99.0,
+        ("wrong", "o2", "price"): 88.0,
+    })
+    gold = build_gold({("o1", "price"): 10.0, ("o2", "price"): 20.0})
+    return ds, gold
+
+
+class TestSourcesByRecall:
+    def test_ordering(self, scenario):
+        ds, gold = scenario
+        order = sources_by_recall(ds, gold)
+        assert order[0] == "full"   # recall 1.0
+        assert order[1] == "half"   # recall 0.5
+        assert order[2] == "wrong"  # recall 0.0
+
+    def test_deterministic_tiebreak(self):
+        ds = build_dataset({
+            ("a", "o1", "price"): 10.0,
+            ("b", "o1", "price"): 10.0,
+        })
+        gold = build_gold({("o1", "price"): 10.0})
+        assert sources_by_recall(ds, gold) == ["a", "b"]
+
+
+class TestRecallCurves:
+    def test_recall_grows_with_good_sources(self, scenario):
+        ds, gold = scenario
+        curves = recall_as_sources_added(ds, gold, ["Vote"])
+        recalls = curves["Vote"].recalls
+        assert recalls[0] == pytest.approx(1.0)  # 'full' alone: both right
+        assert len(recalls) == 3
+
+    def test_prefix_sizes(self, scenario):
+        ds, gold = scenario
+        curves = recall_as_sources_added(
+            ds, gold, ["Vote"], prefix_sizes=[1, 3]
+        )
+        assert len(curves["Vote"].recalls) == 2
+
+    def test_curve_summaries(self):
+        curve = RecallCurve(method="m", recalls=[0.5, 0.9, 0.7])
+        assert curve.peak == 2
+        assert curve.peak_recall == pytest.approx(0.9)
+        assert curve.final == pytest.approx(0.7)
+
+
+class TestOnGenerated:
+    def test_single_best_source_has_high_recall(self, flight_snapshot,
+                                                flight_gold):
+        order = sources_by_recall(flight_snapshot, flight_gold)
+        curves = recall_as_sources_added(
+            flight_snapshot, flight_gold, ["Vote"], ordering=order,
+            prefix_sizes=[1, len(order)],
+        )
+        first, final = curves["Vote"].recalls
+        assert 0.0 < first <= 1.0
+        assert 0.0 < final <= 1.0

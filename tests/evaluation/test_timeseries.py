@@ -1,0 +1,43 @@
+"""Per-day precision series (Table 9)."""
+
+import pytest
+
+from repro.evaluation.timeseries import PrecisionSeries, precision_over_time
+
+
+class TestPrecisionSeries:
+    def test_summary_statistics(self):
+        series = PrecisionSeries(
+            method="m", days=["d0", "d1"], precisions=[0.8, 1.0]
+        )
+        assert series.average == pytest.approx(0.9)
+        assert series.minimum == pytest.approx(0.8)
+        assert series.deviation == pytest.approx(0.1)
+
+    def test_empty_series(self):
+        series = PrecisionSeries(method="m", days=[], precisions=[])
+        assert series.average == 0.0
+        assert series.deviation == 0.0
+
+
+class TestPrecisionOverTime:
+    def test_runs_on_generated_series(self, flight_collection):
+        result = precision_over_time(
+            flight_collection.series,
+            flight_collection.gold_by_day,
+            ["Vote", "AccuPr"],
+        )
+        assert set(result) == {"Vote", "AccuPr"}
+        for series in result.values():
+            assert len(series.precisions) == len(flight_collection.series)
+            assert all(0.0 <= p <= 1.0 for p in series.precisions)
+
+    def test_day_filter(self, flight_collection):
+        wanted = flight_collection.series.days[:1]
+        result = precision_over_time(
+            flight_collection.series,
+            flight_collection.gold_by_day,
+            ["Vote"],
+            days=wanted,
+        )
+        assert result["Vote"].days == wanted

@@ -1,0 +1,67 @@
+"""Plain-text rendering helpers."""
+
+from repro.experiments.report import (
+    format_bar_chart,
+    format_percent,
+    format_series,
+    format_table,
+)
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        text = format_table(
+            ["name", "value"],
+            [("alpha", 1.0), ("b", 0.5)],
+            title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("name")
+        assert set(lines[2]) <= {"-", " "}
+        assert "1.000" in text and "0.500" in text
+
+    def test_none_renders_dash(self):
+        text = format_table(["a"], [(None,)])
+        assert "-" in text.splitlines()[-1]
+
+    def test_bool_renders_x(self):
+        text = format_table(["a", "b"], [(True, False)])
+        last = text.splitlines()[-1]
+        assert "X" in last
+
+    def test_wide_cells_extend_columns(self):
+        text = format_table(["h"], [("a-very-long-cell-value",)])
+        header, sep, row = text.splitlines()
+        assert len(sep) >= len("a-very-long-cell-value")
+
+
+class TestFormatSeries:
+    def test_rows_per_label(self):
+        text = format_series(
+            [0.1, 0.2],
+            {"s1": [1.0, 2.0], "s2": [3.0, 4.0]},
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4  # header + separator + 2 rows
+
+    def test_short_series_padded_with_dash(self):
+        text = format_series([1, 2], {"s": [0.5]})
+        assert text.splitlines()[-1].endswith("-")
+
+
+class TestFormatBarChart:
+    def test_bars_scale_with_values(self):
+        text = format_bar_chart({"a": 1.0, "b": 0.5}, width=10)
+        bar_a = text.splitlines()[0].count("#")
+        bar_b = text.splitlines()[1].count("#")
+        assert bar_a == 10 and bar_b == 5
+
+    def test_empty_data(self):
+        assert format_bar_chart({}, title="t") == "t"
+
+
+class TestFormatPercent:
+    def test_values(self):
+        assert format_percent(0.125) == "12.5%"
+        assert format_percent(None) == "-"

@@ -1,0 +1,26 @@
+"""The experiments CLI entry point."""
+
+import pytest
+
+from repro.experiments.runner import main
+
+
+class TestMain:
+    def test_single_experiment(self, capsys):
+        assert main(["table6", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "== table6" in out
+        assert "AccuCopy" in out
+
+    def test_alias(self, capsys):
+        assert main(["table2", "--scale", "tiny"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table6", "--scale", "galactic"])
+
+    def test_unknown_experiment(self):
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError):
+            main(["table42", "--scale", "tiny"])

@@ -1,0 +1,154 @@
+"""FusionProblem compilation and the shared iteration plumbing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.records import DataItem
+from repro.errors import FusionError
+from repro.fusion.base import (
+    FusionProblem,
+    accumulate_by_cluster,
+    accumulate_by_source,
+    segment_sum_per_item,
+    softmax_per_item,
+)
+
+from tests.helpers import build_dataset
+
+
+@pytest.fixture()
+def small_problem():
+    ds = build_dataset({
+        ("s1", "o1", "price"): 10.0,
+        ("s2", "o1", "price"): 10.0,
+        ("s3", "o1", "price"): 99.0,
+        ("s1", "o2", "price"): 20.0,
+        ("s3", "o2", "gate"): "A1",
+    })
+    return FusionProblem(ds)
+
+
+class TestProblemCompilation:
+    def test_counts(self, small_problem):
+        assert small_problem.n_items == 3
+        assert small_problem.n_claims == 5
+        # o1/price has two clusters, others one each
+        assert small_problem.n_clusters == 4
+
+    def test_item_start_partitions_clusters(self, small_problem):
+        starts = small_problem.item_start
+        assert starts[0] == 0
+        assert starts[-1] == small_problem.n_clusters
+        assert all(starts[i] <= starts[i + 1] for i in range(len(starts) - 1))
+
+    def test_claim_item_consistent(self, small_problem):
+        assert np.array_equal(
+            small_problem.claim_item,
+            small_problem.cluster_item[small_problem.claim_cluster],
+        )
+
+    def test_empty_dataset_rejected(self):
+        ds = build_dataset({("s1", "o1", "price"): 1.0})
+        empty = ds.without_sources(["s1"])
+        with pytest.raises(FusionError):
+            FusionProblem(empty)
+
+    def test_argmax_per_item_prefers_first_on_ties(self, small_problem):
+        scores = np.ones(small_problem.n_clusters)
+        best = small_problem.argmax_per_item(scores)
+        assert np.array_equal(best, small_problem.item_start[:-1])
+
+    def test_selection_to_values(self, small_problem):
+        scores = small_problem.cluster_support.astype(float)
+        selected = small_problem.argmax_per_item(scores)
+        values = small_problem.selection_to_values(selected)
+        assert values[DataItem("o1", "price")] == 10.0
+
+    def test_trust_vector_defaults(self, small_problem):
+        vector = small_problem.trust_vector({"s1": 0.5}, default=0.9)
+        assert vector[small_problem.source_index["s1"]] == 0.5
+        assert vector[small_problem.source_index["s2"]] == 0.9
+
+
+class TestAccumulators:
+    def test_accumulate_by_cluster(self, small_problem):
+        ones = np.ones(small_problem.n_claims)
+        per_cluster = accumulate_by_cluster(small_problem, ones)
+        assert np.array_equal(
+            per_cluster, small_problem.cluster_support.astype(float)
+        )
+
+    def test_accumulate_by_source(self, small_problem):
+        ones = np.ones(small_problem.n_claims)
+        per_source = accumulate_by_source(small_problem, ones)
+        assert np.array_equal(per_source, small_problem.claims_per_source)
+
+    def test_accumulate_by_source_per_attribute_shape(self, small_problem):
+        ones = np.ones(small_problem.n_claims)
+        per_cell = accumulate_by_source(small_problem, ones, per_attribute=True)
+        assert per_cell.shape == (small_problem.n_sources, small_problem.n_attrs)
+        assert per_cell.sum() == small_problem.n_claims
+
+    def test_segment_sum(self, small_problem):
+        ones = np.ones(small_problem.n_clusters)
+        per_item = segment_sum_per_item(small_problem, ones)
+        assert per_item.sum() == small_problem.n_clusters
+
+
+class TestSoftmax:
+    def test_sums_to_one_per_item(self, small_problem):
+        scores = np.arange(small_problem.n_clusters, dtype=float)
+        probabilities = softmax_per_item(small_problem, scores)
+        per_item = segment_sum_per_item(small_problem, probabilities)
+        assert np.allclose(per_item, 1.0)
+
+    def test_handles_large_scores(self, small_problem):
+        scores = np.full(small_problem.n_clusters, 1e4)
+        probabilities = softmax_per_item(small_problem, scores)
+        assert np.all(np.isfinite(probabilities))
+
+
+class TestEvidenceEdges:
+    def test_similarity_edges_within_items(self, stock_problem):
+        sim_a, sim_b, sim_w = stock_problem.similarity_edges
+        assert len(sim_a) == len(sim_b) == len(sim_w)
+        if len(sim_a):
+            assert np.array_equal(
+                stock_problem.cluster_item[sim_a],
+                stock_problem.cluster_item[sim_b],
+            )
+            assert np.all(sim_w > 0) and np.all(sim_w <= 1.0)
+
+    def test_format_edges_reference_valid_ids(self, stock_problem):
+        fmt_s, fmt_c, fmt_w = stock_problem.format_edges
+        if len(fmt_s):
+            assert fmt_s.max() < stock_problem.n_sources
+            assert fmt_c.max() < stock_problem.n_clusters
+            assert np.all(fmt_w > 0)
+
+
+@given(
+    scores=st.lists(
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+        min_size=4,
+        max_size=4,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_argmax_matches_numpy(scores, ):
+    ds = build_dataset({
+        ("s1", "o1", "price"): 10.0,
+        ("s2", "o1", "price"): 20.0,
+        ("s3", "o1", "price"): 30.0,
+        ("s1", "o2", "price"): 1.0,
+    })
+    problem = FusionProblem(ds)
+    array = np.asarray(scores[: problem.n_clusters])
+    if len(array) < problem.n_clusters:
+        array = np.pad(array, (0, problem.n_clusters - len(array)))
+    best = problem.argmax_per_item(array)
+    for i in range(problem.n_items):
+        lo, hi = problem.item_start[i], problem.item_start[i + 1]
+        assert array[best[i]] == array[lo:hi].max()

@@ -1,0 +1,176 @@
+"""Bayesian methods: TRUTHFINDER and the ACCU family mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.core.records import DataItem
+from repro.fusion.base import FusionProblem, segment_sum_per_item
+from repro.fusion.bayesian import (
+    AccuFormat,
+    AccuPr,
+    AccuSim,
+    PopAccu,
+    TruthFinder,
+)
+
+from tests.helpers import build_dataset
+
+
+@pytest.fixture()
+def problem():
+    return FusionProblem(build_dataset({
+        ("a", "o1", "price"): 10.0,
+        ("b", "o1", "price"): 10.0,
+        ("c", "o1", "price"): 99.0,
+        ("a", "o2", "price"): 20.0,
+        ("b", "o2", "price"): 20.0,
+        ("c", "o2", "price"): 77.0,
+    }))
+
+
+class TestTruthFinder:
+    def test_confidences_in_unit_interval(self, problem):
+        method = TruthFinder()
+        state = method._initial_state(problem, None)
+        scores = method._votes(problem, state)
+        assert np.all((scores > 0) & (scores < 1))
+
+    def test_similarity_boost_raises_confidence(self):
+        # Two clusters 1 bucket apart: similar values boost each other.
+        ds = build_dataset({
+            ("a", "o1", "price"): 100.0,
+            ("b", "o1", "price"): 100.0,
+            ("c", "o1", "price"): 101.5,   # near the majority
+            ("d", "o1", "price"): 400.0,   # far away
+        })
+        problem = FusionProblem(ds)
+        boosted = TruthFinder(rho=0.8)
+        plain = TruthFinder(rho=0.0)
+        b_scores = boosted._votes(problem, boosted._initial_state(problem, None))
+        p_scores = plain._votes(problem, plain._initial_state(problem, None))
+        reps = [float(r) for r in problem.cluster_rep]
+        near_idx = reps.index(101.5)
+        far_idx = reps.index(400.0)
+        near_gain = b_scores[near_idx] - p_scores[near_idx]
+        far_gain = b_scores[far_idx] - p_scores[far_idx]
+        assert near_gain > far_gain
+
+    def test_trust_is_mean_confidence(self, problem):
+        result = TruthFinder().run(problem)
+        assert all(0.0 < v < 1.0 for v in result.trust.values())
+        assert result.trust["a"] > result.trust["c"]
+
+
+class TestAccuPr:
+    def test_posteriors_sum_to_one(self, problem):
+        method = AccuPr()
+        state = method._initial_state(problem, None)
+        posterior = method._votes(problem, state)
+        sums = segment_sum_per_item(problem, posterior)
+        assert np.allclose(sums, 1.0)
+
+    def test_n_false_values_scales_confidence(self, problem):
+        wide = AccuPr(n_false_values=1000.0)
+        narrow = AccuPr(n_false_values=2.0)
+        wide_post = wide._votes(problem, wide._initial_state(problem, None))
+        narrow_post = narrow._votes(problem, narrow._initial_state(problem, None))
+        # A larger false-value domain makes agreement stronger evidence.
+        start = problem.item_start[0]
+        assert wide_post[start] > narrow_post[start]
+
+    def test_accuracy_update_clipped(self, problem):
+        result = AccuPr().run(problem)
+        assert all(0.02 <= v <= 0.98 for v in result.trust.values())
+
+
+class TestPopAccu:
+    def test_popularity_discount_negative_for_popular_values(self, problem):
+        method = PopAccu()
+        discount = method._popularity_discount(problem)
+        # Discounts are per-vote adjustments replacing the uniform ln(n);
+        # popular clusters get *smaller* boosts than rare ones.
+        start = problem.item_start[0]
+        majority, minority = discount[start], discount[start + 1]
+        assert majority < minority
+
+    def test_relative_boost_for_unpopular_values(self):
+        """POPACCU shifts posterior mass toward less-popular values
+        relative to ACCUPR (the mechanism; whether it flips the winner
+        depends on the margins)."""
+        claims = {}
+        for k in range(8):
+            for s in ("c1", "c2", "c3", "c4"):
+                claims[(s, f"o{k}", "price")] = 666.0
+            for s in ("h1", "h2", "h3"):
+                claims[(s, f"o{k}", "price")] = 10.0 + k
+        problem = FusionProblem(build_dataset(claims))
+        pop_method = PopAccu()
+        pr_method = AccuPr()
+        pop_post = pop_method._votes(
+            problem, pop_method._initial_state(problem, None)
+        )
+        pr_post = pr_method._votes(
+            problem, pr_method._initial_state(problem, None)
+        )
+        # The minority (3-vote) cluster of each item gains posterior mass
+        # under the popularity-aware scoring.
+        minority = np.asarray(problem.cluster_support) == 3
+        assert np.all(pop_post[minority] > pr_post[minority])
+
+
+class TestFormatEvidence:
+    def test_rounded_source_partially_supports_fine_value(self):
+        ds = build_dataset(
+            {
+                ("fine1", "o1", "volume"): 7_528_396.0,
+                ("fine2", "o1", "volume"): 7_528_396.0,
+                ("coarse", "o1", "volume"): 8_000_000.0,
+                ("other", "o1", "volume"): 1_000_000.0,
+            },
+            granularities={("coarse", "o1", "volume"): 1e6},
+        )
+        problem = FusionProblem(ds)
+        fmt_source, fmt_cluster, fmt_w = problem.format_edges
+        assert len(fmt_source) >= 1
+        reps = [problem.cluster_rep[c] for c in fmt_cluster]
+        assert 7_528_396.0 in reps       # 7.5M rounds to 8M at 1e6
+        assert 1_000_000.0 not in reps   # 1M does not
+
+    def test_accuformat_uses_the_edges(self):
+        ds = build_dataset(
+            {
+                ("fine", "o1", "volume"): 7_528_396.0,
+                ("coarse1", "o1", "volume"): 8_000_000.0,
+                ("coarse2", "o1", "volume"): 8_000_000.0,
+                ("rival1", "o1", "volume"): 5_000_000.0,
+                ("rival2", "o1", "volume"): 5_000_000.0,
+            },
+            granularities={
+                ("coarse1", "o1", "volume"): 1e6,
+                ("coarse2", "o1", "volume"): 1e6,
+            },
+        )
+        problem = FusionProblem(ds)
+        with_format = AccuFormat().run(problem)
+        # Coarse sources' partial support tips the scale toward the value
+        # they subsume (7.53M + 2 partial votes beats 5M's two full votes
+        # combined with 8M's two full votes on the same side).
+        assert with_format.selected[DataItem("o1", "volume")] in (
+            7_528_396.0, 8_000_000.0,
+        )
+
+
+class TestSimilarityEvidence:
+    def test_accusim_pools_adjacent_buckets(self):
+        ds = build_dataset({
+            ("a", "o1", "price"): 100.0,
+            ("b", "o1", "price"): 100.9,   # adjacent bucket
+            ("c", "o1", "price"): 500.0,
+            ("d", "o1", "price"): 500.0,
+        })
+        problem = FusionProblem(ds)
+        sim = AccuSim(rho=1.0).run(problem)
+        # With strong similarity pooling, the 100-ish camp can beat the
+        # exact-pair 500 camp; at minimum it must not crash and must pick
+        # one of the two camps.
+        assert sim.selected[DataItem("o1", "price")] in (100.0, 100.9, 500.0)

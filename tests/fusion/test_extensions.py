@@ -1,0 +1,184 @@
+"""Section 5 extensions: seeding, per-category trust, multi-truth, ensembles."""
+
+import pytest
+
+from repro.core.records import DataItem
+from repro.errors import FusionError
+from repro.evaluation.metrics import evaluate
+from repro.fusion.base import FusionProblem, FusionResult
+from repro.fusion.ensemble import ensemble_vote, precision_weighted_ensemble
+from repro.fusion.extensions import (
+    AccuCategory,
+    _object_prefix,
+    select_plausible_values,
+)
+from repro.fusion.registry import make_method
+from repro.fusion.seeding import consistent_item_seed, seed_coverage
+
+from tests.helpers import build_dataset, build_gold
+
+
+class TestConsistentItemSeed:
+    def test_seed_separates_good_from_bad(self):
+        claims = {}
+        for k in range(10):
+            for s in ("a", "b", "c", "d"):
+                claims[(s, f"o{k}", "price")] = 10.0 + k
+            claims[("liar", f"o{k}", "price")] = 999.0 + k
+        problem = FusionProblem(build_dataset(claims))
+        seed = consistent_item_seed(problem, min_providers=4)
+        assert seed["a"] > seed["liar"]
+        assert seed["liar"] < 0.5
+
+    def test_seed_in_unit_interval(self, stock_problem):
+        seed = consistent_item_seed(stock_problem)
+        assert all(0.0 < v < 1.0 for v in seed.values())
+        assert set(seed) == set(stock_problem.sources)
+
+    def test_coverage_fraction(self, stock_problem):
+        coverage = seed_coverage(stock_problem)
+        assert 0.0 < coverage <= 1.0
+
+    def test_no_consistent_items_falls_back_to_prior(self):
+        claims = {
+            ("a", "o1", "price"): 1.0,
+            ("b", "o1", "price"): 2.0,
+        }
+        problem = FusionProblem(build_dataset(claims))
+        seed = consistent_item_seed(problem, min_providers=5, prior=0.8)
+        assert all(v == pytest.approx(0.8) for v in seed.values())
+
+    def test_seed_usable_by_methods(self, stock_problem, stock_snapshot,
+                                    stock_gold):
+        seed = consistent_item_seed(stock_problem)
+        result = make_method("AccuPr").run(stock_problem, trust_seed=seed)
+        assert evaluate(stock_snapshot, stock_gold, result).precision > 0.7
+
+
+class TestAccuCategory:
+    def test_object_prefix(self):
+        assert _object_prefix(DataItem("AA119-SFO", "x")) == "AA"
+        assert _object_prefix(DataItem("123", "x")) == "_"
+
+    def test_category_trust_separates_per_category(self):
+        # 'mixed' is right on AA objects, wrong on UA objects.
+        claims = {}
+        for k in range(8):
+            for prefix in ("AA", "UA"):
+                obj = f"{prefix}{k}"
+                for s in ("a", "b", "c"):
+                    claims[(s, obj, "price")] = float(k + 1)
+                claims[("mixed", obj, "price")] = (
+                    float(k + 1) if prefix == "AA" else 777.0 + k
+                )
+        problem = FusionProblem(build_dataset(claims))
+        method = AccuCategory()
+        result = method.run(problem)
+        trust = method.category_trust(result)
+        assert trust[("mixed", "AA")] > trust[("mixed", "UA")]
+
+    def test_runs_on_flight(self, flight_problem, flight_snapshot, flight_gold):
+        result = AccuCategory().run(flight_problem)
+        assert result.method == "AccuCategory"
+        assert set(result.extras["categories"]) == {"AA", "UA", "CO"}
+        assert evaluate(flight_snapshot, flight_gold, result).precision > 0.6
+
+
+class TestPlausibleValues:
+    def test_coherent_alternative_survives(self):
+        claims = {}
+        for k in range(6):
+            for s in ("a", "b", "c"):
+                claims[(s, f"o{k}", "price")] = 100.0 + k
+            for s in ("d", "e"):
+                claims[(s, f"o{k}", "price")] = 25.0 + k  # coherent alternative
+            claims[("f", f"o{k}", "price")] = 7000.0 + 31 * k  # lone outlier
+            # the alternative-semantics camp is trustworthy elsewhere
+            for s in ("a", "b", "c", "d", "e", "f"):
+                claims[(s, f"o{k}", "volume")] = 5e6 + k
+        problem = FusionProblem(build_dataset(claims))
+        # Two supporters at ~half the winner's collective score pass a 0.2
+        # ratio; the lone outlier (one supporter) does not.
+        plausible = select_plausible_values(problem, score_ratio=0.2)
+        item = DataItem("o0", "price")
+        assert 100.0 in plausible[item]
+        assert 25.0 in plausible[item]
+        assert all(v < 7000.0 for v in plausible[item])
+
+    def test_max_values_cap(self, stock_problem):
+        plausible = select_plausible_values(
+            stock_problem, score_ratio=0.2, max_values=2
+        )
+        assert all(1 <= len(v) <= 2 for v in plausible.values())
+
+    def test_every_item_has_at_least_the_winner(self, flight_problem):
+        plausible = select_plausible_values(flight_problem)
+        assert len(plausible) == flight_problem.n_items
+        assert all(values for values in plausible.values())
+
+
+class TestEnsemble:
+    def _results(self, ds):
+        problem = FusionProblem(ds)
+        return [make_method(n).run(problem) for n in ("Vote", "AccuPr", "PopAccu")]
+
+    def test_majority_of_members_wins(self):
+        ds = build_dataset({
+            ("s1", "o1", "price"): 10.0,
+            ("s2", "o1", "price"): 20.0,
+        })
+        good = FusionResult("g", {DataItem("o1", "price"): 10.0}, {})
+        good2 = FusionResult("g2", {DataItem("o1", "price"): 10.0}, {})
+        bad = FusionResult("b", {DataItem("o1", "price"): 20.0}, {})
+        combined = ensemble_vote(ds, [bad, good, good2])
+        assert combined.selected[DataItem("o1", "price")] == 10.0
+
+    def test_weights_override_majority(self):
+        ds = build_dataset({
+            ("s1", "o1", "price"): 10.0,
+            ("s2", "o1", "price"): 20.0,
+        })
+        good = FusionResult("g", {DataItem("o1", "price"): 10.0}, {})
+        bad1 = FusionResult("b1", {DataItem("o1", "price"): 20.0}, {})
+        bad2 = FusionResult("b2", {DataItem("o1", "price"): 20.0}, {})
+        combined = ensemble_vote(ds, [good, bad1, bad2], weights=[5.0, 1.0, 1.0])
+        assert combined.selected[DataItem("o1", "price")] == 10.0
+
+    def test_empty_rejected(self):
+        ds = build_dataset({("s1", "o1", "price"): 1.0})
+        with pytest.raises(FusionError):
+            ensemble_vote(ds, [])
+
+    def test_weight_count_validated(self):
+        ds = build_dataset({("s1", "o1", "price"): 1.0})
+        result = FusionResult("m", {DataItem("o1", "price"): 1.0}, {})
+        with pytest.raises(FusionError):
+            ensemble_vote(ds, [result], weights=[1.0, 2.0])
+
+    def test_ensemble_at_least_median_member(self, flight_problem,
+                                             flight_snapshot, flight_gold):
+        results = [
+            make_method(n).run(flight_problem)
+            for n in ("Vote", "PopAccu", "AccuCopy")
+        ]
+        precisions = sorted(
+            evaluate(flight_snapshot, flight_gold, r).precision for r in results
+        )
+        combined = ensemble_vote(flight_snapshot, results)
+        combined_precision = evaluate(
+            flight_snapshot, flight_gold, combined
+        ).precision
+        assert combined_precision >= precisions[0]  # never worse than worst
+
+    def test_precision_weighted(self, flight_problem, flight_snapshot,
+                                flight_gold):
+        results = [
+            make_method(n).run(flight_problem) for n in ("Vote", "AccuCopy")
+        ]
+        combined = precision_weighted_ensemble(
+            flight_snapshot,
+            results,
+            validation_precisions={"Vote": 0.5, "AccuCopy": 0.95},
+        )
+        assert combined.method == "WeightedEnsemble"
+        assert evaluate(flight_snapshot, flight_gold, combined).precision > 0.6

@@ -1,0 +1,108 @@
+"""IR-based methods: COSINE, 2-ESTIMATES, 3-ESTIMATES behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.core.records import DataItem
+from repro.fusion.base import FusionProblem
+from repro.fusion.ir import Cosine, ThreeEstimates, TwoEstimates, _minmax
+
+from tests.helpers import build_dataset
+
+
+@pytest.fixture()
+def problem():
+    return FusionProblem(build_dataset({
+        ("a", "o1", "price"): 10.0,
+        ("b", "o1", "price"): 10.0,
+        ("c", "o1", "price"): 99.0,
+        ("a", "o2", "price"): 20.0,
+        ("c", "o2", "price"): 88.0,
+        ("b", "o3", "price"): 30.0,
+        ("a", "o3", "price"): 30.0,
+    }))
+
+
+class TestMinMax:
+    def test_rescales_to_unit_interval(self):
+        scaled = _minmax(np.array([2.0, 4.0, 6.0]))
+        assert scaled.tolist() == [0.0, 0.5, 1.0]
+
+    def test_constant_input_clipped(self):
+        scaled = _minmax(np.array([0.7, 0.7]))
+        assert np.all((scaled >= 0) & (scaled <= 1))
+
+
+class TestCosine:
+    def test_scores_in_signed_unit_range(self, problem):
+        method = Cosine()
+        state = method._initial_state(problem, None)
+        scores = method._votes(problem, state)
+        assert np.all(scores <= 1.0 + 1e-9)
+        assert np.all(scores >= -1.0 - 1e-9)
+
+    def test_majority_scores_higher(self, problem):
+        method = Cosine()
+        state = method._initial_state(problem, None)
+        scores = method._votes(problem, state)
+        # o1: cluster for 10.0 (2 providers) must outscore 99.0 (1 provider)
+        start = problem.item_start[0]
+        assert scores[start] > scores[start + 1]
+
+    def test_damping_blends_old_trust(self, problem):
+        heavy = Cosine(damping=0.99)
+        light = Cosine(damping=0.0)
+        heavy_result = heavy.run(problem)
+        light_result = light.run(problem)
+        # With damping ~1 the trust barely moves from the initial 0.8.
+        heavy_spread = max(heavy_result.trust.values()) - min(
+            heavy_result.trust.values()
+        )
+        light_spread = max(light_result.trust.values()) - min(
+            light_result.trust.values()
+        )
+        assert heavy_spread <= light_spread + 1e-6
+
+    def test_converges_and_selects_majorities(self, problem):
+        result = Cosine().run(problem)
+        assert result.selected[DataItem("o1", "price")] == 10.0
+        assert result.selected[DataItem("o3", "price")] == 30.0
+
+
+class TestTwoEstimates:
+    def test_rounded_estimates_are_binary(self, problem):
+        method = TwoEstimates()
+        state = method._initial_state(problem, None)
+        theta = method._votes(problem, state)
+        rounded = state["_rounded"]
+        assert set(np.unique(rounded)) <= {0.0, 1.0}
+        # Exactly one winner per item.
+        winners = np.bincount(
+            problem.cluster_item[rounded.astype(bool)],
+            minlength=problem.n_items,
+        )
+        assert np.all(winners >= 1)
+
+    def test_trust_in_unit_interval(self, problem):
+        result = TwoEstimates().run(problem)
+        assert all(0.0 <= v <= 1.0 for v in result.trust.values())
+
+    def test_avoids_inverted_fixed_point(self, problem):
+        """The liar must not end with the maximum trust."""
+        result = TwoEstimates().run(problem)
+        assert result.trust["c"] <= max(result.trust["a"], result.trust["b"])
+
+
+class TestThreeEstimates:
+    def test_difficulty_state_maintained(self, problem):
+        method = ThreeEstimates()
+        state = method._initial_state(problem, None)
+        assert state["difficulty"].shape == (problem.n_clusters,)
+        scores = method._votes(problem, state)
+        selected = problem.argmax_per_item(scores)
+        method._update_trust(problem, state, scores, selected)
+        assert np.all((state["difficulty"] >= 0) & (state["difficulty"] <= 1))
+
+    def test_selects_majorities(self, problem):
+        result = ThreeEstimates().run(problem)
+        assert result.selected[DataItem("o1", "price")] == 10.0

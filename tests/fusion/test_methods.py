@@ -1,0 +1,119 @@
+"""Behavioural tests shared by all sixteen fusion methods."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.metrics import evaluate
+from repro.fusion.base import FusionProblem
+from repro.fusion.registry import METHOD_NAMES, make_method
+from repro.fusion.trust import sample_trust
+
+from tests.helpers import build_dataset, build_gold
+
+#: A scenario where the honest majority is right on every item.
+CONSENSUS = {
+    ("s1", "o1", "price"): 10.0,
+    ("s2", "o1", "price"): 10.0,
+    ("s3", "o1", "price"): 10.0,
+    ("s4", "o1", "price"): 99.0,
+    ("s1", "o2", "price"): 20.0,
+    ("s2", "o2", "price"): 20.0,
+    ("s3", "o2", "price"): 20.0,
+    ("s1", "o3", "gate"): "A1",
+    ("s2", "o3", "gate"): "A1",
+    ("s4", "o3", "gate"): "B9",
+}
+CONSENSUS_GOLD = build_gold({
+    ("o1", "price"): 10.0,
+    ("o2", "price"): 20.0,
+    ("o3", "gate"): "A1",
+})
+
+
+@pytest.mark.parametrize("name", METHOD_NAMES)
+class TestAllMethods:
+    def test_selects_consensus_truth(self, name):
+        problem = FusionProblem(build_dataset(CONSENSUS))
+        result = make_method(name).run(problem)
+        ds = build_dataset(CONSENSUS)
+        score = evaluate(ds, CONSENSUS_GOLD, result)
+        assert score.precision == 1.0, f"{name} missed the consensus truth"
+
+    def test_result_covers_every_item(self, name):
+        ds = build_dataset(CONSENSUS)
+        result = make_method(name).run(FusionProblem(ds))
+        assert len(result.selected) == ds.num_items
+
+    def test_trust_reported_for_every_source(self, name):
+        ds = build_dataset(CONSENSUS)
+        result = make_method(name).run(FusionProblem(ds))
+        assert set(result.trust) == set(ds.source_ids)
+        assert all(np.isfinite(v) for v in result.trust.values())
+
+    def test_runs_on_generated_stock(self, name, stock_problem, stock_snapshot,
+                                     stock_gold):
+        result = make_method(name).run(stock_problem)
+        score = evaluate(stock_snapshot, stock_gold, result)
+        assert 0.5 < score.precision <= 1.0, f"{name}: {score.precision}"
+
+    def test_freeze_trust_single_round(self, name, stock_problem,
+                                       stock_snapshot, stock_gold):
+        sample = sample_trust(name, stock_snapshot, stock_gold)
+        if sample is None:
+            pytest.skip("VOTE has no trust")
+        result = make_method(name).run(
+            stock_problem, trust_seed=sample, freeze_trust=True
+        )
+        assert result.rounds == 1
+        score = evaluate(stock_snapshot, stock_gold, result)
+        assert score.precision > 0.5
+
+    def test_deterministic(self, name):
+        problem = FusionProblem(build_dataset(CONSENSUS))
+        first = make_method(name).run(problem)
+        second = make_method(name).run(problem)
+        assert first.selected == second.selected
+
+
+class TestTrustSeparation:
+    """Iterative methods should rank a reliable source above a liar."""
+
+    SPLIT = {}
+    # 6 items: honest sources agree; the liar is always alone.
+    for k in range(6):
+        SPLIT[("good1", f"o{k}", "price")] = 10.0 + k
+        SPLIT[("good2", f"o{k}", "price")] = 10.0 + k
+        SPLIT[("liar", f"o{k}", "price")] = 500.0 + 37 * k
+
+    @pytest.mark.parametrize(
+        "name",
+        [n for n in METHOD_NAMES if n not in ("Vote",)],
+    )
+    def test_liar_gets_less_trust(self, name):
+        problem = FusionProblem(build_dataset(self.SPLIT))
+        result = make_method(name).run(problem)
+        assert result.trust["good1"] > result.trust["liar"]
+
+
+class TestAttrVariants:
+    def test_attr_trust_exposed(self, stock_problem):
+        result = make_method("AccuSimAttr").run(stock_problem)
+        assert result.attr_trust is not None
+        keys = set(result.attr_trust)
+        assert all(isinstance(k, tuple) and len(k) == 2 for k in keys)
+
+    def test_attr_trust_differs_per_attribute(self):
+        # A source wrong only on 'volume' should have lower volume-trust.
+        claims = {}
+        for k in range(8):
+            claims[("mixed", f"o{k}", "price")] = float(k)
+            claims[("mixed", f"o{k}", "volume")] = 1e6 + k * 5e5  # off-consensus
+            for s in ("a", "b", "c"):
+                claims[(s, f"o{k}", "price")] = float(k)
+                claims[(s, f"o{k}", "volume")] = 2e6
+        problem = FusionProblem(build_dataset(claims))
+        result = make_method("AccuSimAttr").run(problem)
+        assert (
+            result.attr_trust[("mixed", "volume")]
+            < result.attr_trust[("mixed", "price")]
+        )

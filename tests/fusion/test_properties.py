@@ -1,0 +1,98 @@
+"""Property-based tests on fusion invariants (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fusion.base import FusionProblem
+from repro.fusion.registry import make_method
+
+from tests.helpers import build_dataset
+
+# Random claim matrices: up to 5 sources x 4 objects, values from a small
+# pool so agreement actually occurs.
+claim_matrices = st.dictionaries(
+    keys=st.tuples(
+        st.sampled_from(["s1", "s2", "s3", "s4", "s5"]),
+        st.sampled_from(["o1", "o2", "o3", "o4"]),
+        st.just("price"),
+    ),
+    values=st.sampled_from([10.0, 10.0, 10.0, 20.0, 30.0, 99.0]),
+    min_size=3,
+    max_size=20,
+)
+
+FAST_METHODS = ("Vote", "Hub", "AccuPr", "TruthFinder", "2-Estimates")
+
+
+@given(claims=claim_matrices)
+@settings(max_examples=50, deadline=None)
+def test_every_item_gets_a_provided_value(claims):
+    """Fusion always selects one of the *provided* values per item."""
+    ds = build_dataset(claims)
+    problem = FusionProblem(ds)
+    for name in FAST_METHODS:
+        result = make_method(name).run(problem)
+        for item, value in result.selected.items():
+            provided = {c.value for c in ds.claims_on(item).values()}
+            assert value in provided, f"{name} invented a value"
+
+
+@given(claims=claim_matrices)
+@settings(max_examples=30, deadline=None)
+def test_source_relabelling_invariance(claims):
+    """Renaming sources must not change what VOTE selects."""
+    ds = build_dataset(claims)
+    renamed = build_dataset(
+        {(f"x_{s}", o, a): v for (s, o, a), v in claims.items()}
+    )
+    first = make_method("Vote").run(FusionProblem(ds))
+    second = make_method("Vote").run(FusionProblem(renamed))
+    assert first.selected == second.selected
+
+
+@given(claims=claim_matrices)
+@settings(max_examples=30, deadline=None)
+def test_unanimous_items_always_selected(claims):
+    """Any method must return the unanimous value where sources agree."""
+    ds = build_dataset(claims)
+    problem = FusionProblem(ds)
+    unanimous = {}
+    for item in ds.items:
+        values = {c.value for c in ds.claims_on(item).values()}
+        if len(values) == 1:
+            unanimous[item] = values.pop()
+    if not unanimous:
+        return
+    for name in FAST_METHODS:
+        result = make_method(name).run(problem)
+        for item, value in unanimous.items():
+            assert result.selected[item] == value, name
+
+
+@given(
+    claims=claim_matrices,
+    seed_value=st.floats(min_value=0.1, max_value=0.9),
+)
+@settings(max_examples=25, deadline=None)
+def test_uniform_seed_equals_uniform_default(claims, seed_value):
+    """Seeding every source with the same trust must match the unseeded run
+    for methods whose first vote round only depends on relative trust."""
+    ds = build_dataset(claims)
+    problem = FusionProblem(ds)
+    uniform = {s: seed_value for s in ds.source_ids}
+    plain = make_method("Vote").run(problem)
+    seeded = make_method("Vote").run(problem, trust_seed=uniform)
+    assert plain.selected == seeded.selected
+
+
+@given(claims=claim_matrices)
+@settings(max_examples=25, deadline=None)
+def test_trust_values_finite(claims):
+    ds = build_dataset(claims)
+    problem = FusionProblem(ds)
+    for name in FAST_METHODS:
+        result = make_method(name).run(problem)
+        values = np.array(list(result.trust.values()))
+        assert np.all(np.isfinite(values)), name

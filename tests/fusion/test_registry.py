@@ -1,0 +1,74 @@
+"""Method registry and the Table 6 feature matrix."""
+
+import pytest
+
+from repro.errors import FusionError
+from repro.fusion.registry import (
+    ITERATIVE_METHOD_NAMES,
+    METHOD_NAMES,
+    all_method_infos,
+    feature_matrix,
+    make_method,
+    method_info,
+)
+
+
+class TestRegistry:
+    def test_sixteen_methods(self):
+        assert len(METHOD_NAMES) == 16
+
+    def test_paper_order(self):
+        assert METHOD_NAMES[0] == "Vote"
+        assert METHOD_NAMES[-1] == "AccuCopy"
+
+    def test_iterative_excludes_vote(self):
+        assert "Vote" not in ITERATIVE_METHOD_NAMES
+        assert len(ITERATIVE_METHOD_NAMES) == 15
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(FusionError):
+            method_info("Bogus")
+        with pytest.raises(FusionError):
+            make_method("Bogus")
+
+    def test_factories_produce_named_methods(self):
+        for name in METHOD_NAMES:
+            assert make_method(name).name == name
+
+    def test_kwargs_forwarded(self):
+        method = make_method("AccuPr", n_false_values=50.0)
+        assert method.n_false_values == 50.0
+
+
+class TestFeatureMatrix:
+    def test_table6_shape(self):
+        matrix = feature_matrix()
+        assert set(matrix) == set(METHOD_NAMES)
+
+    def test_vote_uses_only_providers(self):
+        features = feature_matrix()["Vote"]
+        assert features["#Providers"]
+        assert not features["Source trustworthiness"]
+        assert not features["Copying"]
+
+    def test_accucopy_uses_everything_but_item_trust(self):
+        features = feature_matrix()["AccuCopy"]
+        assert features["Copying"]
+        assert features["Value similarity"]
+        assert features["Value formatting"]
+        assert not features["Item trustworthiness"]
+
+    def test_only_3estimates_uses_item_trust(self):
+        with_item = [
+            name
+            for name, features in feature_matrix().items()
+            if features["Item trustworthiness"]
+        ]
+        assert with_item == ["3-Estimates"]
+
+    def test_categories(self):
+        categories = {info.category for info in all_method_infos()}
+        assert categories == {
+            "Baseline", "Web-link based", "IR based",
+            "Bayesian based", "Copying affected",
+        }

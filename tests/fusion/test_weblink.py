@@ -1,0 +1,99 @@
+"""Web-link based methods: HUB, AVGLOG, INVEST, POOLEDINVEST math."""
+
+import numpy as np
+import pytest
+
+from repro.fusion.base import FusionProblem
+from repro.fusion.weblink import AvgLog, Hub, Invest, PooledInvest
+
+from tests.helpers import build_dataset
+
+
+@pytest.fixture()
+def problem():
+    return FusionProblem(build_dataset({
+        ("a", "o1", "price"): 10.0,
+        ("b", "o1", "price"): 10.0,
+        ("c", "o1", "price"): 99.0,
+        ("a", "o2", "price"): 20.0,
+        ("b", "o2", "price"): 20.0,
+    }))
+
+
+class TestHub:
+    def test_votes_normalized_to_max_one(self, problem):
+        method = Hub()
+        state = method._initial_state(problem, None)
+        votes = method._votes(problem, state)
+        assert votes.max() == pytest.approx(1.0)
+        assert np.all(votes >= 0)
+
+    def test_trust_normalized(self, problem):
+        method = Hub()
+        state = method._initial_state(problem, None)
+        votes = method._votes(problem, state)
+        selected = problem.argmax_per_item(votes)
+        trust = method._update_trust(problem, state, votes, selected)
+        assert trust.max() == pytest.approx(1.0)
+
+    def test_more_claims_more_trust(self, problem):
+        """HUB trust grows with the number of provided values (the paper's
+        observed bias)."""
+        result = Hub().run(problem)
+        # a and b have 2 claims each and agree; c has 1 minority claim.
+        assert result.trust["a"] > result.trust["c"]
+
+
+class TestAvgLog:
+    def test_dampens_claim_count(self, problem):
+        hub = Hub().run(problem)
+        avglog = AvgLog().run(problem)
+        # Both normalize the max to 1; the relative penalty of the
+        # low-claim-count source differs but ordering is preserved here.
+        assert avglog.trust["a"] >= avglog.trust["c"]
+        assert hub.trust["a"] >= hub.trust["c"]
+
+
+class TestInvest:
+    def test_investment_split_across_claims(self, problem):
+        method = Invest()
+        invested = method._investments(
+            problem, np.ones(problem.n_sources)
+        )
+        per_source = np.bincount(
+            problem.claim_source, weights=invested, minlength=problem.n_sources
+        )
+        # Each source invests its full (unit) trust across its claims.
+        assert np.allclose(per_source, 1.0)
+
+    def test_nonlinear_growth_favors_agreement(self, problem):
+        result = Invest().run(problem)
+        selected = result.selected
+        from repro.core.records import DataItem
+        assert selected[DataItem("o1", "price")] == 10.0
+
+
+class TestPooledInvest:
+    def test_pooling_conserves_item_investment(self, problem):
+        method = PooledInvest()
+        state = method._initial_state(problem, None)
+        votes = method._votes(problem, state)
+        invested = method._investments(problem, state["trust"])
+        total_invested = np.bincount(
+            problem.claim_item, weights=invested, minlength=problem.n_items
+        )
+        pooled = np.bincount(
+            problem.cluster_item, weights=votes, minlength=problem.n_items
+        )
+        assert np.allclose(pooled, total_invested)
+
+    def test_trust_not_normalized(self, problem):
+        """POOLEDINVEST trust is never rescaled: pooling conserves the
+        invested mass, so a seeded trust scale persists instead of being
+        normalized back into [0, 1] (Table 7's huge trust deviation)."""
+        result = PooledInvest().run(
+            problem, trust_seed={"a": 4.0, "b": 4.0, "c": 4.0}
+        )
+        values = np.array(list(result.trust.values()))
+        assert values.max() > 1.5  # a [0,1]-normalizing method would cap at 1
+        assert values.sum() == pytest.approx(12.0, rel=0.2)  # mass conserved

@@ -1,0 +1,95 @@
+"""Number parsing/formatting and granularity handling."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValueParseError
+from repro.normalize.numbers import (
+    format_number,
+    parse_number,
+    round_to_granularity,
+    rounds_to,
+)
+
+
+class TestParseNumber:
+    def test_the_papers_example_all_equal(self):
+        # "6.7M", "6,700,000" and "6700000" are the same value (Section 2.2)
+        assert parse_number("6.7M").value == pytest.approx(6_700_000)
+        assert parse_number("6,700,000").value == pytest.approx(6_700_000)
+        assert parse_number("6700000").value == pytest.approx(6_700_000)
+
+    def test_suffixes(self):
+        assert parse_number("2K").value == 2_000
+        assert parse_number("76B").value == 76e9
+        assert parse_number("1.5T").value == 1.5e12
+
+    def test_currency_and_percent(self):
+        assert parse_number("$12.10").value == pytest.approx(12.10)
+        parsed = parse_number("1.2%")
+        assert parsed.value == pytest.approx(1.2)
+        assert parsed.is_percent
+
+    def test_negatives(self):
+        assert parse_number("-3.5").value == pytest.approx(-3.5)
+        assert parse_number("(3.5)").value == pytest.approx(-3.5)
+
+    def test_granularity_of_suffixed_value(self):
+        assert parse_number("6.7M").granularity == pytest.approx(1e5)
+        assert parse_number("8M").granularity == pytest.approx(1e6)
+        assert parse_number("8").granularity is None
+
+    def test_unparseable(self):
+        for bad in ("", "n/a", "12..3", "abc", None):
+            with pytest.raises(ValueParseError):
+                parse_number(bad)
+
+    def test_case_insensitive_suffix(self):
+        assert parse_number("3m").value == pytest.approx(3e6)
+
+
+class TestFormatNumber:
+    def test_round_trip_plain_integer(self):
+        assert parse_number(format_number(1234.0)).value == pytest.approx(1234.0)
+
+    def test_millions_rendering(self):
+        assert format_number(7.5e6, granularity=1e5) == "7.5M"
+        assert format_number(8e6, granularity=1e6) == "8M"
+
+
+class TestGranularity:
+    def test_round_to_granularity(self):
+        assert round_to_granularity(7_528_396, 1e6) == pytest.approx(8e6)
+
+    def test_round_to_granularity_rejects_nonpositive(self):
+        with pytest.raises(ValueParseError):
+            round_to_granularity(1.0, 0.0)
+
+    def test_rounds_to_subsumption(self):
+        # the paper's "8M" subsumes 7,528,396 example (Section 4.1)
+        assert rounds_to(7_528_396, 8e6, 1e6)
+        assert not rounds_to(7_400_000, 8e6, 1e6)
+
+    def test_rounds_to_zero_granularity(self):
+        assert not rounds_to(1.0, 1.0, 0.0)
+
+
+@given(st.floats(min_value=0.01, max_value=1e12, allow_nan=False))
+@settings(max_examples=200, deadline=None)
+def test_parse_format_roundtrip(value):
+    """Formatting then parsing returns the same value (to float precision)."""
+    text = format_number(value)
+    assert parse_number(text).value == pytest.approx(value, rel=1e-6)
+
+
+@given(
+    value=st.floats(min_value=1.0, max_value=1e9, allow_nan=False),
+    exponent=st.integers(min_value=0, max_value=6),
+)
+@settings(max_examples=200, deadline=None)
+def test_rounding_is_idempotent_and_subsumes(value, exponent):
+    granularity = 10.0 ** exponent
+    rounded = round_to_granularity(value, granularity)
+    assert round_to_granularity(rounded, granularity) == pytest.approx(rounded)
+    assert rounds_to(value, rounded, granularity)

@@ -1,0 +1,59 @@
+"""Local-to-global schema matching."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.normalize.schema import SchemaMatcher, match_statistics
+
+
+def _matcher():
+    matcher = SchemaMatcher()
+    matcher.register_global("Last price")
+    matcher.register_global("Volume")
+    matcher.register_synonym("Last trade", "Last price")
+    matcher.register_synonym("Vol", "Volume")
+    return matcher
+
+
+class TestSchemaMatcher:
+    def test_global_resolves_to_itself(self):
+        assert _matcher().resolve("Last price") == "Last price"
+
+    def test_synonym_resolves(self):
+        assert _matcher().resolve("Last trade") == "Last price"
+
+    def test_resolution_is_case_insensitive(self):
+        assert _matcher().resolve("last TRADE") == "Last price"
+
+    def test_unknown_resolves_to_none(self):
+        assert _matcher().resolve("Beta") is None
+
+    def test_resolve_required_raises(self):
+        with pytest.raises(SchemaError):
+            _matcher().resolve_required("Beta")
+
+    def test_synonym_for_unknown_global_rejected(self):
+        matcher = SchemaMatcher()
+        with pytest.raises(SchemaError):
+            matcher.register_synonym("x", "nope")
+
+    def test_conflicting_synonym_rejected(self):
+        matcher = _matcher()
+        with pytest.raises(SchemaError):
+            matcher.register_synonym("Last trade", "Volume")
+
+    def test_match_schema_bulk(self):
+        resolved = _matcher().match_schema(["Vol", "Beta"])
+        assert resolved == {"Vol": "Volume", "Beta": None}
+
+
+class TestMatchStatistics:
+    def test_local_exceeds_global(self):
+        matcher = _matcher()
+        local_schemas = {
+            "s1": ["Last price", "Vol"],
+            "s2": ["Last trade", "Volume"],
+        }
+        n_local, n_global = match_statistics(matcher, local_schemas)
+        assert n_local == 4
+        assert n_global == 2

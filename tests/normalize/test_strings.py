@@ -1,0 +1,35 @@
+"""Gate / symbol / name canonicalization."""
+
+from repro.normalize.strings import normalize_gate, normalize_name, normalize_symbol
+
+
+class TestNormalizeGate:
+    def test_equivalent_spellings_collapse(self):
+        spellings = ["C102", "C-102", "Gate C102", "gate c-102", " C 102 "]
+        assert {normalize_gate(s) for s in spellings} == {"C102"}
+
+    def test_terminal_prefix_stripped(self):
+        assert normalize_gate("Terminal C, Gate 102") == "C102"
+
+    def test_distinct_gates_stay_distinct(self):
+        assert normalize_gate("C102") != normalize_gate("B102")
+
+    def test_none_is_empty(self):
+        assert normalize_gate(None) == ""
+
+
+class TestNormalizeSymbol:
+    def test_upper_and_stripped(self):
+        assert normalize_symbol(" aapl ") == "AAPL"
+
+    def test_inner_whitespace_removed(self):
+        assert normalize_symbol("BRK B") == "BRKB"
+
+
+class TestNormalizeName:
+    def test_case_and_spacing(self):
+        assert normalize_name("Last  Price") == normalize_name("last price")
+
+    def test_punctuation_folds(self):
+        assert normalize_name("P/E") == normalize_name("p/e")
+        assert normalize_name("Chg.") == normalize_name("chg")

@@ -1,0 +1,78 @@
+"""Time parsing and minute arithmetic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValueParseError
+from repro.normalize.times import (
+    clamp_to_day,
+    format_time,
+    minutes_between,
+    parse_time,
+    try_parse_time,
+)
+
+
+class TestParseTime:
+    def test_24_hour(self):
+        assert parse_time("18:15") == 18 * 60 + 15
+
+    def test_12_hour(self):
+        assert parse_time("6:15 PM") == 18 * 60 + 15
+        assert parse_time("6:15p") == 18 * 60 + 15
+        assert parse_time("6:15 AM") == 6 * 60 + 15
+
+    def test_midnight_and_noon(self):
+        assert parse_time("12:00 AM") == 0
+        assert parse_time("12:00 PM") == 12 * 60
+
+    def test_leading_date_fragment_ignored(self):
+        assert parse_time("Dec 8 6:15 PM") == 18 * 60 + 15
+
+    def test_with_seconds(self):
+        assert parse_time("06:15:30") == 6 * 60 + 15
+
+    def test_invalid(self):
+        for bad in ("", "25:00", "12:61", "13:00 PM", "noon", None):
+            with pytest.raises(ValueParseError):
+                parse_time(bad)
+
+    def test_try_parse_returns_none(self):
+        assert try_parse_time("garbage") is None
+        assert try_parse_time("9:30") == 570
+
+
+class TestFormatTime:
+    def test_24h(self):
+        assert format_time(18 * 60 + 15) == "18:15"
+
+    def test_12h(self):
+        assert format_time(18 * 60 + 15, twelve_hour=True) == "6:15 PM"
+        assert format_time(0, twelve_hour=True) == "12:00 AM"
+
+
+class TestMinutes:
+    def test_minutes_between(self):
+        assert minutes_between(600, 615) == 15
+
+    def test_wrap_midnight(self):
+        late, early = 23 * 60 + 55, 5
+        assert minutes_between(late, early) == 1430
+        assert minutes_between(late, early, wrap_midnight=True) == 10
+
+    def test_clamp_to_day(self):
+        assert clamp_to_day(1445) == 5
+        assert clamp_to_day(-10) == 1430
+
+
+@given(st.integers(min_value=0, max_value=1439))
+@settings(max_examples=200, deadline=None)
+def test_format_parse_roundtrip(minutes):
+    assert parse_time(format_time(minutes)) == minutes
+
+
+@given(st.integers(min_value=0, max_value=1439))
+@settings(max_examples=100, deadline=None)
+def test_twelve_hour_roundtrip(minutes):
+    assert parse_time(format_time(minutes, twelve_hour=True)) == minutes

@@ -1,0 +1,94 @@
+"""Source accuracy over time (Figure 8, Table 4)."""
+
+import pytest
+
+from repro.core.dataset import DatasetSeries
+from repro.profiling.accuracy import (
+    accuracy_over_time,
+    accuracy_profile,
+    dominant_precision_over_time,
+)
+
+from tests.helpers import build_dataset, build_gold
+
+
+@pytest.fixture()
+def snapshot_and_gold():
+    ds = build_dataset({
+        ("good", "o1", "price"): 10.0,
+        ("good", "o2", "price"): 20.0,
+        ("bad", "o1", "price"): 99.0,
+        ("bad", "o2", "price"): 20.0,
+    })
+    gold = build_gold({("o1", "price"): 10.0, ("o2", "price"): 20.0})
+    return ds, gold
+
+
+class TestAccuracyProfile:
+    def test_rows(self, snapshot_and_gold):
+        ds, gold = snapshot_and_gold
+        profile = accuracy_profile(ds, gold)
+        assert profile.rows["good"].accuracy == pytest.approx(1.0)
+        assert profile.rows["bad"].accuracy == pytest.approx(0.5)
+        assert profile.rows["good"].coverage == pytest.approx(1.0)
+
+    def test_mean_and_fractions(self, snapshot_and_gold):
+        ds, gold = snapshot_and_gold
+        profile = accuracy_profile(ds, gold)
+        assert profile.mean_accuracy == pytest.approx(0.75)
+        assert profile.fraction_above(0.9) == pytest.approx(0.5)
+        assert profile.fraction_below(0.7) == pytest.approx(0.5)
+
+    def test_histogram_sums_to_one(self, snapshot_and_gold):
+        ds, gold = snapshot_and_gold
+        histogram = accuracy_profile(ds, gold).histogram()
+        assert sum(histogram.values()) == pytest.approx(1.0)
+
+    def test_source_filter(self, snapshot_and_gold):
+        ds, gold = snapshot_and_gold
+        profile = accuracy_profile(ds, gold, ["good"])
+        assert list(profile.rows) == ["good"]
+
+
+class TestOverTime:
+    def _series(self):
+        series = DatasetSeries(domain="test")
+        gold_by_day = {}
+        for day, bad_value in (("d0", 99.0), ("d1", 10.0), ("d2", 99.0)):
+            ds = build_dataset(
+                {
+                    ("good", "o1", "price"): 10.0,
+                    ("bad", "o1", "price"): bad_value,
+                },
+                day=day,
+            )
+            series.add(ds)
+            gold_by_day[day] = build_gold({("o1", "price"): 10.0})
+        return series, gold_by_day
+
+    def test_deviation_zero_for_steady_source(self):
+        series, gold = self._series()
+        over_time = accuracy_over_time(series, gold)
+        assert over_time.deviation_of("good") == pytest.approx(0.0)
+        assert over_time.deviation_of("bad") > 0.2
+
+    def test_fraction_steady(self):
+        series, gold = self._series()
+        over_time = accuracy_over_time(series, gold)
+        assert over_time.fraction_steady(0.05) == pytest.approx(0.5)
+
+    def test_dominant_precision_over_time(self):
+        series, gold = self._series()
+        by_day = dominant_precision_over_time(series, gold)
+        assert set(by_day) == {"d0", "d1", "d2"}
+        assert all(0 <= v <= 1 for v in by_day.values())
+
+
+class TestOnGenerated:
+    def test_volatile_sources_exist(self, stock_collection):
+        over_time = accuracy_over_time(
+            stock_collection.series, stock_collection.gold_by_day
+        )
+        deviations = over_time.deviations()
+        assert deviations
+        assert max(deviations.values()) > min(deviations.values())

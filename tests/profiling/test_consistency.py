@@ -1,0 +1,82 @@
+"""Value-consistency measures (Table 3, Figure 4)."""
+
+import pytest
+
+from repro.profiling.consistency import (
+    consistency_profile,
+    rank_attributes,
+)
+
+from tests.helpers import build_dataset
+
+
+@pytest.fixture()
+def dataset():
+    return build_dataset({
+        # price: full agreement on o1; split on o2
+        ("s1", "o1", "price"): 10.0,
+        ("s2", "o1", "price"): 10.0,
+        ("s1", "o2", "price"): 20.0,
+        ("s2", "o2", "price"): 30.0,
+        # gate: always split three ways
+        ("s1", "o1", "gate"): "A1",
+        ("s2", "o1", "gate"): "B2",
+        ("s3", "o1", "gate"): "C3",
+    })
+
+
+class TestConsistencyProfile:
+    def test_per_item_counts(self, dataset):
+        profile = consistency_profile(dataset)
+        by_item = {r.item: r for r in profile.per_item}
+        from repro.core.records import DataItem
+        assert by_item[DataItem("o1", "price")].num_values == 1
+        assert by_item[DataItem("o2", "price")].num_values == 2
+        assert by_item[DataItem("o1", "gate")].num_values == 3
+
+    def test_fraction_single_value(self, dataset):
+        assert consistency_profile(dataset).fraction_single_value() == pytest.approx(1 / 3)
+
+    def test_histograms_sum_to_one(self, dataset):
+        profile = consistency_profile(dataset)
+        assert sum(profile.num_values_histogram().values()) == pytest.approx(1.0)
+        assert sum(profile.entropy_histogram().values()) == pytest.approx(1.0)
+
+    def test_exclude_sources(self, dataset):
+        profile = consistency_profile(dataset, exclude_sources=["s2"])
+        # without s2, o2/price has a single value
+        assert profile.fraction_single_value() > 1 / 3
+
+    def test_string_items_have_no_deviation(self, dataset):
+        profile = consistency_profile(dataset)
+        gates = [r for r in profile.per_item if r.item.attribute == "gate"]
+        assert all(r.deviation is None for r in gates)
+
+
+class TestRanking:
+    def test_gate_is_most_inconsistent(self, dataset):
+        profile = consistency_profile(dataset)
+        ranking = rank_attributes(profile, "num_values", top=1)
+        assert ranking.highest[0].attribute == "gate"
+        assert ranking.lowest[0].attribute == "price"
+
+    def test_unknown_measure_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            rank_attributes(consistency_profile(dataset), "bogus")
+
+
+class TestOnGenerated:
+    def test_statistical_attrs_more_inconsistent(self, stock_snapshot):
+        profile = consistency_profile(stock_snapshot)
+        per_attr = profile.by_attribute()
+        # The paper's signature: real-time attributes (Previous close) are
+        # far more consistent than statistical ones (P/E).
+        assert (
+            per_attr["Previous close"].mean_entropy
+            < per_attr["P/E"].mean_entropy
+        )
+
+    def test_excluding_stale_source_reduces_inconsistency(self, stock_snapshot):
+        full = consistency_profile(stock_snapshot)
+        reduced = consistency_profile(stock_snapshot, exclude_sources=["stocksmart"])
+        assert reduced.mean_num_values <= full.mean_num_values

@@ -1,0 +1,45 @@
+"""Attribute-coverage statistics (Figure 1, Table 1 schema counts)."""
+
+import pytest
+
+from repro.profiling.coverage import (
+    attribute_coverage,
+    build_schema_matcher,
+    schema_match_statistics,
+)
+
+
+class TestAttributeCoverage:
+    def test_provider_counts(self, stock_collection):
+        profile = attribute_coverage(stock_collection.profiles)
+        # Every considered Stock attribute has at least one provider.
+        assert profile.providers_per_attribute["Last price"] > 40
+        assert profile.num_sources == 55
+
+    def test_series_monotone(self, stock_collection):
+        profile = attribute_coverage(stock_collection.profiles)
+        series = profile.series()
+        assert all(a >= b for a, b in zip(series, series[1:]))
+
+    def test_zipf_tail(self, stock_collection):
+        """Figure 1's headline: most attributes are sparsely provided."""
+        profile = attribute_coverage(stock_collection.profiles)
+        assert profile.fraction_below_quarter() > 0.5
+
+    def test_flight_popular_attrs(self, flight_collection):
+        profile = attribute_coverage(flight_collection.profiles)
+        over_half = profile.fraction_above(19)  # > half of 38 sources
+        assert 0.0 < over_half < 1.0
+
+
+class TestSchemaStatistics:
+    def test_local_exceeds_global(self, stock_collection):
+        stats = schema_match_statistics(stock_collection.profiles)
+        assert stats["local"] > stats["global"]
+
+    def test_matcher_resolves_all_locals(self, flight_collection):
+        matcher = build_schema_matcher(flight_collection.profiles)
+        for profile in flight_collection.profiles:
+            for attribute in profile.effective_schema():
+                local = profile.local_label(attribute)
+                assert matcher.resolve(local) == attribute

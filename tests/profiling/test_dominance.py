@@ -1,0 +1,103 @@
+"""Dominance-factor analysis (Figure 7)."""
+
+import pytest
+
+from repro.profiling.dominance import (
+    DOMINANCE_BUCKETS,
+    dominance_bucket,
+    dominance_profile,
+    top_k_value_precision,
+)
+
+from tests.helpers import build_dataset, build_gold
+
+
+class TestDominanceBucket:
+    def test_bucket_centers(self):
+        assert dominance_bucket(0.08) == 0.1
+        assert dominance_bucket(0.5) == 0.5
+        assert dominance_bucket(0.54) == 0.5
+        assert dominance_bucket(0.56) == 0.6
+        assert dominance_bucket(1.0) == 0.9
+
+    def test_all_buckets_reachable(self):
+        seen = {dominance_bucket(x / 100) for x in range(5, 101)}
+        assert seen == set(DOMINANCE_BUCKETS)
+
+
+@pytest.fixture()
+def scenario():
+    ds = build_dataset({
+        # o1: 3/4 dominance, dominant value correct
+        ("s1", "o1", "price"): 10.0,
+        ("s2", "o1", "price"): 10.0,
+        ("s3", "o1", "price"): 10.0,
+        ("s4", "o1", "price"): 99.0,
+        # o2: 1/2 dominance (tie), dominant (smaller) value wrong
+        ("s1", "o2", "price"): 555.0,
+        ("s2", "o2", "price"): 20.0,
+    })
+    gold = build_gold({("o1", "price"): 10.0, ("o2", "price"): 20.0})
+    return ds, gold
+
+
+class TestDominanceProfile:
+    def test_factors(self, scenario):
+        ds, gold = scenario
+        profile = dominance_profile(ds, gold)
+        values = sorted(profile.factors.values())
+        assert values == [pytest.approx(0.5), pytest.approx(0.75)]
+
+    def test_distribution_sums_to_one(self, scenario):
+        ds, gold = scenario
+        dist = dominance_profile(ds, gold).distribution()
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_overall_precision(self, scenario):
+        ds, gold = scenario
+        profile = dominance_profile(ds, gold)
+        # o1 right (10.0), o2's dominant (tie -> 20.0 smaller? 20.0 < 555.0)
+        # 20.0 is the representative with smaller value -> correct
+        assert 0.0 <= profile.overall_precision() <= 1.0
+
+    def test_fraction_with_factor(self, scenario):
+        ds, gold = scenario
+        profile = dominance_profile(ds, gold)
+        assert profile.fraction_with_factor_at_least(0.7) == pytest.approx(0.5)
+
+    def test_without_gold_no_precision(self, scenario):
+        ds, _gold = scenario
+        profile = dominance_profile(ds, gold=None)
+        assert profile.precision_by_bucket == {}
+        assert len(profile.factors) == 2
+
+
+class TestTopK:
+    def test_second_value_precision(self):
+        ds = build_dataset({
+            ("s1", "o1", "price"): 99.0,
+            ("s2", "o1", "price"): 99.0,
+            ("s3", "o1", "price"): 10.0,
+        })
+        gold = build_gold({("o1", "price"): 10.0})
+        first, n1 = top_k_value_precision(ds, gold, 1)
+        second, n2 = top_k_value_precision(ds, gold, 2)
+        assert (first, n1) == (0.0, 1)
+        assert (second, n2) == (1.0, 1)
+
+    def test_max_factor_filter(self):
+        ds = build_dataset({
+            ("s1", "o1", "price"): 10.0,
+            ("s2", "o1", "price"): 10.0,
+        })
+        gold = build_gold({("o1", "price"): 10.0})
+        _, n = top_k_value_precision(ds, gold, 1, max_factor=0.5)
+        assert n == 0  # fully dominant item filtered out
+
+
+class TestOnGenerated:
+    def test_precision_rises_with_dominance(self, stock_snapshot, stock_gold):
+        profile = dominance_profile(stock_snapshot, stock_gold)
+        curve = profile.precision_curve()
+        high = curve.get(0.9)
+        assert high is not None and high > 0.9  # the paper's Figure 7 shape

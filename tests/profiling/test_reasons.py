@@ -1,0 +1,78 @@
+"""Inconsistency-reason attribution (Figure 6)."""
+
+import pytest
+
+from repro.core.records import Claim, DataItem, ErrorReason, SourceMeta
+from repro.core.attributes import AttributeSpec, AttributeTable
+from repro.core.dataset import Dataset
+from repro.profiling.reasons import (
+    classify_item_reason,
+    reason_breakdown,
+    sampled_reason_breakdown,
+)
+
+
+def _tagged_dataset():
+    table = AttributeTable.from_specs([AttributeSpec("price")])
+    ds = Dataset(domain="t", day="d", attributes=table)
+    for sid in ("a", "b", "c", "d"):
+        ds.add_source(SourceMeta(sid))
+    item = DataItem("o1", "price")
+    ds.add_claim("a", item, Claim(10.0))
+    ds.add_claim("b", item, Claim(10.0))
+    ds.add_claim("c", item, Claim(99.0, reason=ErrorReason.OUT_OF_DATE))
+    ds.add_claim("d", item, Claim(55.0, reason=ErrorReason.PURE_ERROR))
+    # consistent item: no reason
+    item2 = DataItem("o2", "price")
+    ds.add_claim("a", item2, Claim(20.0))
+    ds.add_claim("b", item2, Claim(20.0))
+    return ds.freeze()
+
+
+class TestClassifyItem:
+    def test_minority_reason_wins(self):
+        ds = _tagged_dataset()
+        # two minority claims with different reasons: tie broken by count
+        reason = classify_item_reason(ds, DataItem("o1", "price"))
+        assert reason in (ErrorReason.OUT_OF_DATE, ErrorReason.PURE_ERROR)
+
+    def test_consistent_item_is_none(self):
+        ds = _tagged_dataset()
+        assert classify_item_reason(ds, DataItem("o2", "price")) is None
+
+    def test_copied_folds_into_underlying_reason(self):
+        table = AttributeTable.from_specs([AttributeSpec("price")])
+        ds = Dataset(domain="t", day="d", attributes=table)
+        for sid in ("a", "b", "w1", "w2", "w3"):
+            ds.add_source(SourceMeta(sid))
+        item = DataItem("o1", "price")
+        ds.add_claim("a", item, Claim(10.0))
+        ds.add_claim("b", item, Claim(10.0))
+        ds.add_claim("w1", item, Claim(99.0, reason=ErrorReason.OUT_OF_DATE))
+        ds.add_claim("w2", item, Claim(99.0, reason=ErrorReason.COPIED))
+        ds.add_claim("w3", item, Claim(99.0, reason=ErrorReason.COPIED))
+        ds.freeze()
+        assert classify_item_reason(ds, item) is ErrorReason.OUT_OF_DATE
+
+
+class TestBreakdown:
+    def test_shares_sum_to_one(self):
+        ds = _tagged_dataset()
+        breakdown = reason_breakdown(ds)
+        assert breakdown.num_inconsistent_items == 1
+        assert sum(breakdown.shares().values()) == pytest.approx(1.0)
+
+    def test_sampling_scheme_runs(self, stock_snapshot):
+        breakdown = sampled_reason_breakdown(stock_snapshot)
+        assert breakdown.num_inconsistent_items > 0
+
+
+class TestOnGenerated:
+    def test_stock_semantics_dominates(self, stock_snapshot):
+        """The paper's Figure 6: semantics ambiguity is the top Stock cause."""
+        shares = reason_breakdown(stock_snapshot).shares()
+        assert shares.get(ErrorReason.SEMANTICS_AMBIGUITY, 0) == max(shares.values())
+
+    def test_flight_has_no_unit_errors(self, flight_snapshot):
+        shares = reason_breakdown(flight_snapshot).shares()
+        assert ErrorReason.UNIT_ERROR not in shares

@@ -1,0 +1,68 @@
+"""Redundancy measures (Figures 2-3)."""
+
+import pytest
+
+from repro.profiling.redundancy import (
+    redundancy_profile,
+    source_item_coverage,
+    source_object_coverage,
+)
+
+from tests.helpers import build_dataset
+
+
+@pytest.fixture()
+def dataset():
+    return build_dataset({
+        ("s1", "o1", "price"): 1.0,
+        ("s2", "o1", "price"): 1.0,
+        ("s1", "o2", "price"): 2.0,
+    })
+
+
+class TestRedundancyProfile:
+    def test_object_redundancy(self, dataset):
+        profile = redundancy_profile(dataset)
+        assert profile.object_redundancy["o1"] == pytest.approx(1.0)
+        assert profile.object_redundancy["o2"] == pytest.approx(0.5)
+
+    def test_item_redundancy_values(self, dataset):
+        profile = redundancy_profile(dataset)
+        assert sorted(profile.item_redundancy_values) == [0.5, 1.0]
+
+    def test_means(self, dataset):
+        profile = redundancy_profile(dataset)
+        assert profile.mean_object_redundancy == pytest.approx(0.75)
+        assert profile.mean_item_redundancy == pytest.approx(0.75)
+
+    def test_ccdf_monotone_nonincreasing(self, dataset):
+        profile = redundancy_profile(dataset)
+        for ccdf in (profile.object_ccdf(), profile.item_ccdf()):
+            assert all(a >= b for a, b in zip(ccdf, ccdf[1:]))
+
+    def test_ccdf_strict_threshold(self, dataset):
+        profile = redundancy_profile(dataset)
+        ccdf = profile.item_ccdf([0.0, 0.5, 1.0])
+        # redundancies are {1.0, 0.5}: above 0 -> both; above .5 -> one
+        assert ccdf == [1.0, 0.5, 0.0]
+
+
+class TestSourceCoverage:
+    def test_object_coverage(self, dataset):
+        coverage = source_object_coverage(dataset)
+        assert coverage["s1"] == pytest.approx(1.0)
+        assert coverage["s2"] == pytest.approx(0.5)
+
+    def test_item_coverage(self, dataset):
+        coverage = source_item_coverage(dataset)
+        assert coverage["s1"] == pytest.approx(1.0)
+        assert coverage["s2"] == pytest.approx(0.5)
+
+
+class TestOnGenerated:
+    def test_stock_redundancy_higher_than_flight(
+        self, stock_snapshot, flight_snapshot
+    ):
+        stock = redundancy_profile(stock_snapshot).mean_item_redundancy
+        flight = redundancy_profile(flight_snapshot).mean_item_redundancy
+        assert stock > flight  # the paper's headline comparison

@@ -1,0 +1,68 @@
+"""The repro.cli command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.io import write_claims_csv, write_gold_csv
+
+from tests.helpers import build_dataset, build_gold
+
+
+@pytest.fixture()
+def claims_csv(tmp_path):
+    ds = build_dataset({
+        ("s1", "o1", "price"): 10.0,
+        ("s2", "o1", "price"): 10.0,
+        ("s3", "o1", "price"): 77.0,
+    })
+    path = tmp_path / "claims.csv"
+    write_claims_csv(ds, path)
+    return path
+
+
+class TestMethodsCommand:
+    def test_lists_all_sixteen(self, capsys):
+        assert main(["methods"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 16
+        assert "AccuCopy" in out
+
+
+class TestFuseCommand:
+    def test_fuse_prints_selection(self, claims_csv, capsys):
+        assert main(["fuse", str(claims_csv), "--method", "Vote"]) == 0
+        out = capsys.readouterr().out
+        assert "o1" in out and "10.0" in out
+
+    def test_fuse_writes_json(self, claims_csv, tmp_path, capsys):
+        output = tmp_path / "result.json"
+        assert main([
+            "fuse", str(claims_csv), "--method", "AccuPr", "-o", str(output)
+        ]) == 0
+        payload = json.loads(output.read_text())
+        assert payload["method"] == "AccuPr"
+        assert payload["selected"]
+
+    def test_fuse_scores_against_gold(self, claims_csv, tmp_path, capsys):
+        gold_path = tmp_path / "gold.csv"
+        write_gold_csv(build_gold({("o1", "price"): 10.0}), gold_path)
+        assert main([
+            "fuse", str(claims_csv), "--method", "Vote", "--gold", str(gold_path)
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "precision=1.0000" in out
+
+
+class TestExportDemo:
+    def test_round_trip_through_cli(self, tmp_path, capsys):
+        claims = tmp_path / "demo.csv"
+        gold = tmp_path / "demo_gold.csv"
+        assert main(["export-demo", "flight", str(claims), "--gold", str(gold)]) == 0
+        assert claims.exists() and gold.exists()
+        assert main([
+            "fuse", str(claims), "--method", "Vote", "--gold", str(gold)
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "precision=" in out

@@ -1,0 +1,58 @@
+"""Exception hierarchy: everything library-raised derives from ReproError."""
+
+import pytest
+
+from repro.errors import (
+    ConfigError,
+    ConvergenceError,
+    FusionError,
+    GoldStandardError,
+    ReproError,
+    SchemaError,
+    ValueParseError,
+)
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (SchemaError, ValueParseError, ConfigError, FusionError,
+                    ConvergenceError, GoldStandardError):
+            assert issubclass(exc, ReproError)
+
+    def test_convergence_is_fusion_error(self):
+        assert issubclass(ConvergenceError, FusionError)
+
+    def test_single_catch_all(self):
+        with pytest.raises(ReproError):
+            raise ValueParseError("x")
+
+
+class TestRaisedTypes:
+    def test_schema_errors_from_core(self):
+        from repro.core.attributes import AttributeSpec
+        with pytest.raises(SchemaError):
+            AttributeSpec("")
+
+    def test_parse_errors_from_normalize(self):
+        from repro.normalize.numbers import parse_number
+        with pytest.raises(ValueParseError):
+            parse_number("not a number")
+
+    def test_config_errors_from_datagen(self):
+        from repro.datagen.stock import StockWorld
+        with pytest.raises(ConfigError):
+            StockWorld(n_objects=1)
+
+    def test_fusion_errors_from_registry(self):
+        from repro.fusion.registry import make_method
+        with pytest.raises(FusionError):
+            make_method("NotAMethod")
+
+    def test_gold_errors_from_core(self):
+        from repro.core.gold import GoldStandard
+        from repro.core.records import DataItem
+        from tests.helpers import build_dataset
+        gold = GoldStandard(domain="t")
+        ds = build_dataset({("s", "o", "price"): 1.0})
+        with pytest.raises(GoldStandardError):
+            gold.is_correct(ds, DataItem("o", "price"), 1.0)

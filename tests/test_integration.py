@@ -1,0 +1,97 @@
+"""End-to-end shape tests: the paper's headline findings hold on the
+generated collections (small scale, calibrated seeds)."""
+
+import pytest
+
+from repro.datagen import (
+    FlightConfig,
+    StockConfig,
+    generate_flight_collection,
+    generate_stock_collection,
+)
+from repro.evaluation.metrics import evaluate
+from repro.fusion.base import FusionProblem
+from repro.fusion.registry import make_method
+
+
+@pytest.fixture(scope="module")
+def stock():
+    collection = generate_stock_collection(
+        StockConfig(n_objects=200, num_days=5, n_gold_objects=100)
+    )
+    return collection, FusionProblem(collection.snapshot)
+
+
+@pytest.fixture(scope="module")
+def flight():
+    collection = generate_flight_collection(
+        FlightConfig(n_objects=300, num_days=8, n_gold_objects=100)
+    )
+    return collection, FusionProblem(collection.snapshot)
+
+
+def _precision(collection, problem, name):
+    result = make_method(name).run(problem)
+    return evaluate(collection.snapshot, collection.gold, result).precision
+
+
+class TestPaperHeadlines:
+    def test_vote_precision_bands(self, stock, flight):
+        """Dominant values are ~.9 right on Stock, lower on Flight (Sec 3.2)."""
+        stock_vote = _precision(*stock, "Vote")
+        flight_vote = _precision(*flight, "Vote")
+        assert 0.85 <= stock_vote <= 0.97
+        assert 0.75 <= flight_vote <= 0.92
+
+    def test_removing_copiers_helps_vote(self, stock, flight):
+        """Section 3.4: dropping copier sources raises dominant precision."""
+        for collection, _problem in (stock, flight):
+            snapshot, gold = collection.snapshot, collection.gold
+            reduced = snapshot.without_sources(collection.copier_ids())
+            before = evaluate(
+                snapshot, gold, make_method("Vote").run(FusionProblem(snapshot))
+            ).precision
+            after = evaluate(
+                reduced, gold, make_method("Vote").run(FusionProblem(reduced))
+            ).precision
+            assert after >= before
+
+    def test_accucopy_best_on_flight(self, flight):
+        """Section 4.2: copy-aware fusion wins the Flight domain."""
+        accucopy = _precision(*flight, "AccuCopy")
+        vote = _precision(*flight, "Vote")
+        accupr = _precision(*flight, "AccuPr")
+        assert accucopy > vote
+        assert accucopy >= accupr
+
+    def test_popaccu_beats_accupr_on_flight(self, flight):
+        """Popular (copied) false values are discounted by POPACCU."""
+        assert _precision(*flight, "PopAccu") >= _precision(*flight, "AccuPr")
+
+    def test_attr_trust_helps_stock(self, stock):
+        """Section 4.2: per-attribute trust is the Stock winner."""
+        attr = _precision(*stock, "AccuFormatAttr")
+        vote = _precision(*stock, "Vote")
+        assert attr >= vote
+
+    def test_fusion_finds_most_truths_everywhere(self, stock, flight):
+        """'Finding correct values for 96% data items on average' (Sec 1)."""
+        best_stock = max(
+            _precision(*stock, n) for n in ("AccuFormatAttr", "AccuCopy")
+        )
+        best_flight = max(
+            _precision(*flight, n) for n in ("PopAccu", "AccuCopy")
+        )
+        assert (best_stock + best_flight) / 2 > 0.9
+
+
+class TestDeterminism:
+    def test_collections_reproducible(self):
+        a = generate_stock_collection(StockConfig.tiny())
+        b = generate_stock_collection(StockConfig.tiny())
+        assert a.snapshot.num_claims == b.snapshot.num_claims
+        items = list(a.snapshot.items)[:50]
+        for item in items:
+            assert {
+                s: c.value for s, c in a.snapshot.claims_on(item).items()
+            } == {s: c.value for s, c in b.snapshot.claims_on(item).items()}
