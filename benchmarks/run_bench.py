@@ -1,0 +1,248 @@
+"""Fusion-engine performance harness: legacy paths versus columnar kernels.
+
+Times the four rebuilt layers on both generated domains —
+
+* **compile** — ``FusionProblem`` construction (columnar kernel) against the
+  per-item Python compile (``LegacyFusionProblem``), cold (dataset caches
+  cleared) and warm (columnar view reused);
+* **methods** — full fusion runs per registered method on prebuilt problems
+  (vectorized argmax / similarity / format kernels vs the Python loops);
+* **copy detection** — ``detect_copying`` + ``independence_weights`` rounds
+  with cached sparse structures vs per-round CSR rebuilds;
+* **figure9 sweep** — the end-to-end source-prefix sweep through
+  ``restrict_sources`` vs per-prefix dataset copies + legacy compiles —
+
+and writes the measurements to ``BENCH_fusion.json`` so the perf trajectory
+accumulates across PRs.  The sweep also cross-checks that both paths produce
+identical recall curves (the selections are equivalent by construction; see
+``tests/fusion/test_vectorized_equivalence.py``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py --scale small
+    PYTHONPATH=src python benchmarks/run_bench.py --scale default \
+        --output BENCH_fusion.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+from repro.copying.detection import (
+    detect_copying,
+    independence_weights,
+    selection_accuracy,
+)
+from repro.evaluation.ordering import recall_as_sources_added, sources_by_recall
+from repro.experiments.context import get_context
+from repro.fusion.base import FusionProblem
+from repro.fusion.legacy import (
+    LegacyFusionProblem,
+    legacy_detect_copying,
+    legacy_independence_weights,
+    legacy_recall_as_sources_added,
+)
+from repro.fusion.registry import METHOD_NAMES, make_method
+
+#: Methods timed individually on prebuilt problems.
+BENCH_METHODS = METHOD_NAMES
+#: Methods run at every prefix of the Figure 9 sweep benchmark (a slice of
+#: the figure's six; the sweep cost is dominated by per-prefix compilation,
+#: which is exactly what this benchmark tracks).
+SWEEP_METHODS = ("Vote", "AccuSim")
+DETECTION_ROUNDS = 5
+
+
+def _best_of(repeat: int, fn: Callable[[], object]) -> float:
+    best = float("inf")
+    for _ in range(repeat):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _clear_dataset_caches(dataset) -> None:
+    dataset._columnar = None
+    dataset._tolerances = None
+    dataset._clusterings = None
+    dataset._source_ids = None
+    dataset._num_claims = None
+
+
+def bench_domain(domain: str, scale: str, repeat: int) -> Dict[str, object]:
+    collection = get_context(scale).collection(domain)
+    snapshot, gold = collection.snapshot, collection.gold
+
+    report: Dict[str, object] = {}
+
+    # ------------------------------------------------------------- compile
+    # LegacyFusionProblem bypasses the dataset caches, so it is always a
+    # cold, from-the-dicts compile (what the seed paid for each snapshot).
+    legacy_s = _best_of(repeat, lambda: LegacyFusionProblem(snapshot))
+
+    def cold_compile():
+        _clear_dataset_caches(snapshot)
+        return FusionProblem(snapshot)
+
+    def build_view_only():
+        _clear_dataset_caches(snapshot)
+        return snapshot.columnar
+
+    # Cold: first compile of a snapshot (columnar view + tolerances +
+    # clustering kernel).  Warm: every later problem compiled from the same
+    # snapshot — the per-problem cost sweeps and method comparisons pay.
+    cold_s = _best_of(repeat, cold_compile)
+    view_s = _best_of(repeat, build_view_only)
+    FusionProblem(snapshot)  # ensure the snapshot caches are warm
+    warm_s = _best_of(repeat, lambda: FusionProblem(snapshot))
+    report["compile"] = {
+        "legacy_s": legacy_s,
+        "vectorized_cold_s": cold_s,
+        "vectorized_warm_s": warm_s,
+        "view_build_s": view_s,  # share of the cold time spent flattening
+        "speedup_cold": legacy_s / cold_s,
+        "speedup_warm": legacy_s / warm_s,
+    }
+
+    legacy_problem = LegacyFusionProblem(snapshot)
+    problem = FusionProblem(snapshot)
+    report["size"] = {
+        "n_sources": problem.n_sources,
+        "n_items": problem.n_items,
+        "n_claims": problem.n_claims,
+        "n_clusters": problem.n_clusters,
+    }
+
+    # ------------------------------------------------------------- methods
+    methods: Dict[str, Dict[str, float]] = {}
+    for name in BENCH_METHODS:
+        # Fresh problems per path so the lazy evidence edges are rebuilt by
+        # the path under test, not inherited from a warm cache.
+        legacy_p = LegacyFusionProblem(snapshot)
+        fast_p = FusionProblem(snapshot)
+        old_s = _best_of(1, lambda: make_method(name).run(legacy_p))
+        new_s = _best_of(1, lambda: make_method(name).run(fast_p))
+        methods[name] = {
+            "legacy_s": old_s,
+            "vectorized_s": new_s,
+            "speedup": old_s / new_s,
+        }
+    report["methods"] = methods
+
+    # ------------------------------------------------------ copy detection
+    selected = problem.argmax_per_item(
+        problem.cluster_support.astype(np.float64)
+    )
+    accuracy = selection_accuracy(problem, selected)
+
+    def detection_rounds(detect, weights, target):
+        for _ in range(DETECTION_ROUNDS):
+            detection = detect(target, selected, accuracy)
+            weights(target, detection.probability)
+
+    old_s = _best_of(
+        repeat,
+        lambda: detection_rounds(
+            legacy_detect_copying, legacy_independence_weights, legacy_problem
+        ),
+    )
+    problem.copy_structures  # warm the cache once, as AccuCopy's rounds do
+    new_s = _best_of(
+        repeat,
+        lambda: detection_rounds(detect_copying, independence_weights, problem),
+    )
+    report["copy_detection"] = {
+        "rounds": DETECTION_ROUNDS,
+        "legacy_s": old_s,
+        "vectorized_s": new_s,
+        "speedup": old_s / new_s,
+    }
+
+    # ------------------------------------------------------- figure 9 sweep
+    order = sources_by_recall(snapshot, gold)
+    n = len(order)
+    prefix_sizes = sorted(
+        set(list(range(1, min(12, n) + 1)) + list(range(12, n + 1, 4)) + [n])
+    )
+    started = time.perf_counter()
+    legacy_curves = legacy_recall_as_sources_added(
+        snapshot, gold, SWEEP_METHODS, order, prefix_sizes
+    )
+    old_s = time.perf_counter() - started
+    started = time.perf_counter()
+    new_curves = recall_as_sources_added(
+        snapshot, gold, SWEEP_METHODS, ordering=order,
+        prefix_sizes=prefix_sizes, problem=problem,
+    )
+    new_s = time.perf_counter() - started
+    curves_equal = all(
+        legacy_curves[name] == new_curves[name].recalls
+        for name in SWEEP_METHODS
+    )
+    report["figure9_sweep"] = {
+        "methods": list(SWEEP_METHODS),
+        "prefix_sizes": len(prefix_sizes),
+        "legacy_s": old_s,
+        "vectorized_s": new_s,
+        "speedup": old_s / new_s,
+        "curves_equal": curves_equal,
+    }
+    return report
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", default="small",
+                        choices=("tiny", "small", "default", "paper"))
+    parser.add_argument("--output", default="BENCH_fusion.json")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="best-of-N for the compile/detection timings")
+    parser.add_argument("--domains", nargs="+", default=["stock", "flight"])
+    args = parser.parse_args(argv)
+
+    domains: Dict[str, object] = {}
+    for domain in args.domains:
+        print(f"[bench] {domain} @ {args.scale} ...", flush=True)
+        domains[domain] = bench_domain(domain, args.scale, args.repeat)
+        sweep = domains[domain]["figure9_sweep"]
+        compile_ = domains[domain]["compile"]
+        print(
+            f"[bench] {domain}: compile x{compile_['speedup_warm']:.1f} warm"
+            f" / x{compile_['speedup_cold']:.1f} cold,"
+            f" figure9 x{sweep['speedup']:.1f}"
+            f" (curves equal: {sweep['curves_equal']})",
+            flush=True,
+        )
+
+    sweeps = [domains[d]["figure9_sweep"]["speedup"] for d in domains]
+    compiles = [domains[d]["compile"]["speedup_warm"] for d in domains]
+    payload = {
+        "scale": args.scale,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "unix_time": time.time(),
+        "domains": domains,
+        "summary": {
+            "figure9_speedup_min": min(sweeps),
+            "compile_speedup_warm_min": min(compiles),
+            "compile_speedup_cold_min": min(
+                domains[d]["compile"]["speedup_cold"] for d in domains
+            ),
+        },
+    }
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=2)
+    print(f"[bench] wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,11 +21,12 @@ as true before counting.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 import scipy.sparse as sp
+from scipy.sparse.csgraph import connected_components
 
 from repro.fusion.base import FusionProblem
 
@@ -58,31 +59,23 @@ class CopyDetectionResult:
 
     sources: List[str]
     probability: np.ndarray  # (n_sources, n_sources), symmetric, zero diagonal
+    _index: Optional[Dict[str, int]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def pair(self, a: str, b: str) -> float:
-        ia, ib = self.sources.index(a), self.sources.index(b)
-        return float(self.probability[ia, ib])
+        if self._index is None:
+            self._index = {s: i for i, s in enumerate(self.sources)}
+        return float(self.probability[self._index[a], self._index[b]])
 
     def groups(self, threshold: float = 0.5) -> List[List[str]]:
         """Connected components of the thresholded dependence graph."""
-        n = len(self.sources)
-        adjacency = self.probability >= threshold
-        seen = np.zeros(n, dtype=bool)
-        groups: List[List[str]] = []
-        for start in range(n):
-            if seen[start]:
-                continue
-            stack, component = [start], []
-            seen[start] = True
-            while stack:
-                node = stack.pop()
-                component.append(node)
-                for neighbor in np.flatnonzero(adjacency[node]):
-                    if not seen[neighbor]:
-                        seen[neighbor] = True
-                        stack.append(int(neighbor))
-            if len(component) > 1:
-                groups.append(sorted(self.sources[i] for i in component))
+        adjacency = sp.csr_matrix(self.probability >= threshold)
+        n_components, labels = connected_components(adjacency, directed=False)
+        members: List[List[str]] = [[] for _ in range(n_components)]
+        for node, label in enumerate(labels):
+            members[label].append(self.sources[node])
+        groups = [sorted(component) for component in members if len(component) > 1]
         groups.sort(key=len, reverse=True)
         return groups
 
@@ -92,30 +85,22 @@ def _overlap_counts(
     selected: np.ndarray,
     near_true: Optional[np.ndarray] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """(kt, kf, kd) matrices over source pairs via sparse products."""
-    n_sources, n_clusters = problem.n_sources, problem.n_clusters
-    ones = np.ones(problem.n_claims)
-    membership = sp.csr_matrix(
-        (ones, (problem.claim_source, problem.claim_cluster)),
-        shape=(n_sources, n_clusters),
-    )
-    same = (membership @ membership.T).toarray()
+    """(kt, kf, kd) matrices over source pairs via sparse products.
 
-    true_mask = np.zeros(n_clusters, dtype=bool)
+    The selection-independent structures (membership CSR, pairwise ``same``
+    and ``shared`` counts) are cached on the problem; only the
+    selection-dependent ``kt`` product runs per call.
+    """
+    structures = problem.copy_structures
+    true_mask = np.zeros(problem.n_clusters, dtype=bool)
     true_mask[selected] = True
     if near_true is not None:
         true_mask |= near_true
-    member_true = membership[:, true_mask]
+    member_true = structures.membership[:, true_mask]
     kt = (member_true @ member_true.T).toarray()
 
-    incidence = sp.csr_matrix(
-        (ones, (problem.claim_source, problem.claim_item)),
-        shape=(n_sources, problem.n_items),
-    )
-    shared = (incidence @ incidence.T).toarray()
-
-    kf = same - kt
-    kd = shared - same
+    kf = structures.same - kt
+    kd = structures.shared - structures.same
     return kt, kf, kd
 
 
@@ -217,14 +202,21 @@ def independence_weights(
     vanishing for large groups.)
     """
     scaled = copy_probability * dependence  # (S, S), zero diagonal
-    ones = np.ones(problem.n_claims)
-    membership = sp.csr_matrix(
-        (ones, (problem.claim_cluster, problem.claim_source)),
-        shape=(problem.n_clusters, problem.n_sources),
-    )
-    # G[c, s] = sum over providers s' of cluster c of c * P_dep(s, s')
-    dependent_mass = membership @ scaled  # (C, S) dense
-    per_claim = dependent_mass[problem.claim_cluster, problem.claim_source]
+    per_claim = np.zeros(problem.n_claims)
+    # Only sources with some nonzero dependence column can accumulate
+    # dependent mass; computing the (n_clusters x n_sources) product for
+    # those columns alone avoids densifying the full matrix (after the
+    # agreement gate, copier pairs are a handful of sources).
+    involved = np.flatnonzero(scaled.any(axis=0))
+    if involved.size:
+        membership = problem.copy_structures.membership.T  # (C, S) view
+        # mass[c, k] = sum over providers s' of cluster c of c * P_dep(s', s_k)
+        mass = np.asarray(membership @ scaled[:, involved])  # (C, |involved|)
+        column = np.full(problem.n_sources, -1, dtype=np.int64)
+        column[involved] = np.arange(involved.size)
+        claim_column = column[problem.claim_source]
+        hit = claim_column >= 0
+        per_claim[hit] = mass[problem.claim_cluster[hit], claim_column[hit]]
     return 1.0 / (1.0 + per_claim)
 
 

@@ -1,0 +1,396 @@
+"""Columnar claim storage and the vectorized compile kernels.
+
+The dict-of-dicts layout of :class:`~repro.core.dataset.Dataset` is the right
+shape for building a snapshot, but every downstream consumer — tolerances,
+value clustering, fusion-problem compilation, copy detection — used to re-walk
+those dicts claim by claim in Python.  This module freezes one snapshot into
+flat numpy columns (:class:`ColumnarView`) and compiles everything derived
+from them with array kernels:
+
+* :func:`compute_tolerances` — Equation (3) per attribute via ``np.median``;
+* :func:`compile_clusters` — the Section 3.2 bucketing of *every* item at
+  once, producing the exact cluster/claim ordering of the per-item
+  :func:`repro.core.tolerance.cluster_claims` walk;
+* :func:`materialize_clusterings` — rehydrates the compiled arrays into
+  :class:`~repro.core.tolerance.ItemClustering` objects for the profiling
+  layers.
+
+``compile_clusters`` accepts a boolean claim mask, which is what makes
+zero-rebuild source subsetting possible: a source-prefix sweep (Figure 9)
+filters the columns and re-runs the kernel instead of copying the dataset and
+re-clustering it item by item.
+
+Ordering contract (load-bearing for equivalence with the legacy paths):
+claims are stored grouped by item in dataset insertion order and, within an
+item, in claim insertion order.  Every kernel below breaks ties exactly the
+way the dict-based code did — support descending, then ``str(value)``, then
+first occurrence.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.attributes import (
+    TIME_TOLERANCE_MINUTES,
+    AttributeSpec,
+    AttributeTable,
+    ValueKind,
+)
+from repro.core.records import Claim, DataItem, Value
+from repro.core.tolerance import ItemClustering, ValueCluster
+
+
+def _as_float(value: Value) -> float:
+    try:
+        return float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return math.nan
+
+
+@dataclass(frozen=True)
+class ColumnarView:
+    """Flat, immutable arrays over one snapshot's claims.
+
+    ``claim_item`` is nondecreasing: claims are grouped per item, items and
+    claims both in dataset insertion order.  Exact provided values are
+    interned into ``values`` and referenced by code, with their ``float``
+    conversion (``NaN`` when not convertible) and the dense rank of their
+    ``str()`` form precomputed for the clustering kernel's tie-breaks.
+    """
+
+    items: List[DataItem]
+    sources: List[str]
+    attr_names: List[str]
+    attr_specs: List[AttributeSpec]
+    item_attr: np.ndarray          # (n_items,) attribute code per item
+    item_start: np.ndarray         # (n_items + 1,) claim segment offsets
+    claim_item: np.ndarray         # (n_claims,) nondecreasing item codes
+    claim_source: np.ndarray       # (n_claims,) source codes
+    claim_value: np.ndarray        # (n_claims,) codes into ``values``
+    claim_numeric: np.ndarray      # (n_claims,) float(value) or NaN
+    claim_granularity: np.ndarray  # (n_claims,) 0.0 when exact
+    values: List[Value]            # distinct exact values, by code
+    value_numeric: np.ndarray      # (n_values,) float(value) or NaN
+    value_str_rank: np.ndarray     # (n_values,) dense rank of str(value)
+
+    @property
+    def n_items(self) -> int:
+        return len(self.items)
+
+    @property
+    def n_sources(self) -> int:
+        return len(self.sources)
+
+    @property
+    def n_claims(self) -> int:
+        return len(self.claim_item)
+
+    @property
+    def n_attrs(self) -> int:
+        return len(self.attr_names)
+
+
+def build_view(
+    by_item: Dict[DataItem, Dict[str, Claim]],
+    sources: Sequence[str],
+    attributes: AttributeTable,
+) -> ColumnarView:
+    """Flatten a dataset's dict-of-dicts claim matrix into columns."""
+    source_list = list(sources)
+    source_code = {s: i for i, s in enumerate(source_list)}
+    attr_names = attributes.names
+    attr_specs = [attributes[name] for name in attr_names]
+    attr_code = {name: i for i, name in enumerate(attr_names)}
+
+    items: List[DataItem] = list(by_item.keys())
+    item_attr = [attr_code[item.attribute] for item in items]
+    counts = [len(claims) for claims in by_item.values()]
+    source_ids: List[str] = []
+    flat_claims: List[Claim] = []
+    for claims in by_item.values():
+        source_ids.extend(claims.keys())
+        flat_claims.extend(claims.values())
+
+    # Intern exact values: dict insertion order == first-occurrence order,
+    # the same grouping the per-item bucket dicts produced.  Interning is by
+    # ``==`` like those dicts, but global: values equal across Python types
+    # (e.g. int 1 vs float 1.0) collapse to the snapshot-first object rather
+    # than the item-first one.  Within the declared ``Value = float | str``
+    # domain equal values have identical type and str(), so this is
+    # unobservable.
+    value_code: Dict[Value, int] = {}
+    claim_value = [
+        value_code.setdefault(claim.value, len(value_code))
+        for claim in flat_claims
+    ]
+    values: List[Value] = list(value_code.keys())
+    claim_granularity = [claim.granularity or 0.0 for claim in flat_claims]
+
+    value_numeric = np.asarray([_as_float(v) for v in values], dtype=np.float64)
+    strs = sorted(set(str(v) for v in values))
+    str_rank = {s: i for i, s in enumerate(strs)}
+    value_str_rank = np.asarray([str_rank[str(v)] for v in values], dtype=np.int64)
+
+    counts_arr = np.asarray(counts, dtype=np.int64)
+    claim_value_arr = np.asarray(claim_value, dtype=np.int64)
+    return ColumnarView(
+        items=items,
+        sources=source_list,
+        attr_names=attr_names,
+        attr_specs=attr_specs,
+        item_attr=np.asarray(item_attr, dtype=np.int64),
+        item_start=np.concatenate(
+            (np.zeros(1, dtype=np.int64), np.cumsum(counts_arr))
+        ),
+        claim_item=np.repeat(np.arange(len(items), dtype=np.int64), counts_arr),
+        claim_source=np.asarray(
+            [source_code[s] for s in source_ids], dtype=np.int64
+        ),
+        claim_value=claim_value_arr,
+        claim_numeric=value_numeric[claim_value_arr]
+        if len(values)
+        else np.zeros(0, dtype=np.float64),
+        claim_granularity=np.asarray(claim_granularity, dtype=np.float64),
+        values=values,
+        value_numeric=value_numeric,
+        value_str_rank=value_str_rank,
+    )
+
+
+def compute_tolerances(
+    view: ColumnarView, claim_mask: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Per-attribute tolerance ``tau(A)`` (Equation 3), vectorized.
+
+    Mirrors :func:`repro.core.tolerance.attribute_tolerance` over the whole
+    snapshot: TIME attributes use the fixed 10-minute tolerance, STRING
+    attributes get 0, numeric attributes ``alpha * median(|V(A)|)`` (0 when
+    no convertible value exists).  ``claim_mask`` restricts the claim
+    population — the source-subsetting hook.
+    """
+    claim_attr = view.item_attr[view.claim_item]
+    numeric = view.claim_numeric
+    if claim_mask is not None:
+        claim_attr = claim_attr[claim_mask]
+        numeric = numeric[claim_mask]
+    tolerances = np.zeros(view.n_attrs, dtype=np.float64)
+    for code, spec in enumerate(view.attr_specs):
+        if spec.kind is ValueKind.TIME:
+            tolerances[code] = TIME_TOLERANCE_MINUTES
+        elif spec.kind.is_numeric:
+            bucket = numeric[claim_attr == code]
+            bucket = bucket[~np.isnan(bucket)]
+            if bucket.size:
+                tolerances[code] = spec.tolerance_factor * float(
+                    np.median(np.abs(bucket))
+                )
+    return tolerances
+
+
+@dataclass(frozen=True)
+class CompiledClusters:
+    """The Section 3.2 bucketing of every (surviving) item, as flat arrays.
+
+    ``item_index`` maps local item positions back into ``view.items`` —
+    items whose claims were all masked away are dropped.  Clusters are
+    ordered per item by (support desc, str(representative), first
+    occurrence); claims are grouped per cluster in claim insertion order —
+    both exactly matching the legacy per-item walk.
+    """
+
+    item_index: np.ndarray       # (n_kept,) codes into view.items
+    item_attr: np.ndarray        # (n_kept,) attribute code per kept item
+    item_start: np.ndarray       # (n_kept + 1,) cluster segment offsets
+    cluster_item: np.ndarray     # (n_clusters,) local item code per cluster
+    cluster_value: np.ndarray    # (n_clusters,) representative value code
+    cluster_support: np.ndarray  # (n_clusters,)
+    claim_source: np.ndarray     # (n_claims,) view source codes, final order
+    claim_cluster: np.ndarray    # (n_claims,)
+    claim_value: np.ndarray      # (n_claims,) value codes, final order
+    claim_granularity: np.ndarray  # (n_claims,)
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self.cluster_item)
+
+
+def _segment_first(change: np.ndarray) -> np.ndarray:
+    """Start offsets of the runs flagged by a boolean change array."""
+    return np.flatnonzero(change)
+
+
+def compile_clusters(
+    view: ColumnarView,
+    tolerances: np.ndarray,
+    claim_mask: Optional[np.ndarray] = None,
+) -> CompiledClusters:
+    """Bucket every item's claims into value clusters, vectorized.
+
+    Reproduces :func:`repro.core.tolerance.cluster_claims` for all items in
+    one pass: exact-value grouping for STRING / zero-tolerance attributes,
+    the ``floor((v - v0) / tau + 0.5)`` grid centered on the dominant exact
+    value otherwise, with identical representative selection and ordering.
+    """
+    if claim_mask is None:
+        pos = np.arange(view.n_claims, dtype=np.int64)
+    else:
+        pos = np.flatnonzero(claim_mask)
+    n = len(pos)
+    empty = np.zeros(0, dtype=np.int64)
+    if n == 0:
+        return CompiledClusters(
+            item_index=empty,
+            item_attr=empty,
+            item_start=np.zeros(1, dtype=np.int64),
+            cluster_item=empty,
+            cluster_value=empty,
+            cluster_support=empty,
+            claim_source=empty,
+            claim_cluster=empty,
+            claim_value=empty,
+            claim_granularity=np.zeros(0, dtype=np.float64),
+        )
+
+    c_item = view.claim_item[pos]
+    c_src = view.claim_source[pos]
+    c_val = view.claim_value[pos]
+    c_num = view.claim_numeric[pos]
+    c_gran = view.claim_granularity[pos]
+    str_rank = view.value_str_rank
+
+    # Surviving items; c_item is nondecreasing, so runs are segments.
+    change = np.empty(n, dtype=bool)
+    change[0] = True
+    np.not_equal(c_item[1:], c_item[:-1], out=change[1:])
+    seg_id = np.cumsum(change) - 1  # local item code per claim
+    item_index = c_item[change]
+    item_attr = view.item_attr[item_index]
+    tol_item = tolerances[item_attr]
+    kind_string = np.asarray(
+        [spec.kind is ValueKind.STRING for spec in view.attr_specs], dtype=bool
+    )
+    bucketed_item = (~kind_string[item_attr]) & (tol_item > 0)
+
+    # ---- dominant exact value per item: min (-count, str(value), first pos)
+    gorder = np.lexsort((pos, c_val, seg_id))
+    gi, gv = seg_id[gorder], c_val[gorder]
+    gchange = np.empty(n, dtype=bool)
+    gchange[0] = True
+    gchange[1:] = (gi[1:] != gi[:-1]) | (gv[1:] != gv[:-1])
+    gstart = _segment_first(gchange)
+    g_item, g_val = gi[gstart], gv[gstart]
+    g_count = np.diff(np.append(gstart, n))
+    g_first = gorder[gstart]  # min masked-claim position in the group
+    dorder = np.lexsort((g_first, str_rank[g_val], -g_count, g_item))
+    ditem = g_item[dorder]
+    dchange = np.empty(len(dorder), dtype=bool)
+    dchange[0] = True
+    np.not_equal(ditem[1:], ditem[:-1], out=dchange[1:])
+    dom_val = g_val[dorder[_segment_first(dchange)]]  # per kept item, in order
+    v0 = view.value_numeric[dom_val]
+
+    # ---- bucket key per claim
+    claim_bucketed = bucketed_item[seg_id]
+    if np.any(claim_bucketed & np.isnan(c_num)):
+        raise ValueError(
+            "non-numeric value under a bucketed (numeric/time) attribute"
+        )
+    key = c_val.copy()
+    if claim_bucketed.any():
+        b = claim_bucketed
+        key[b] = np.floor(
+            (c_num[b] - v0[seg_id[b]]) / tol_item[seg_id[b]] + 0.5
+        ).astype(np.int64)
+
+    # ---- clusters = (item, bucket key) groups
+    corder = np.lexsort((pos, key, seg_id))
+    ci, ck = seg_id[corder], key[corder]
+    cchange = np.empty(n, dtype=bool)
+    cchange[0] = True
+    cchange[1:] = (ci[1:] != ci[:-1]) | (ck[1:] != ck[:-1])
+    cstart = _segment_first(cchange)
+    cl_item = ci[cstart]
+    cl_count = np.diff(np.append(cstart, n))
+    cl_first = corder[cstart]
+    n_clusters = len(cstart)
+    raw_cluster = np.empty(n, dtype=np.int64)
+    raw_cluster[corder] = np.cumsum(cchange) - 1
+
+    # ---- representative per cluster: dominant exact value within it
+    rorder = np.lexsort((pos, c_val, raw_cluster))
+    ri, rv = raw_cluster[rorder], c_val[rorder]
+    rchange = np.empty(n, dtype=bool)
+    rchange[0] = True
+    rchange[1:] = (ri[1:] != ri[:-1]) | (rv[1:] != rv[:-1])
+    rstart = _segment_first(rchange)
+    r_cluster, r_val = ri[rstart], rv[rstart]
+    r_count = np.diff(np.append(rstart, n))
+    r_first = rorder[rstart]
+    sorder = np.lexsort((r_first, str_rank[r_val], -r_count, r_cluster))
+    sc = r_cluster[sorder]
+    schange = np.empty(len(sorder), dtype=bool)
+    schange[0] = True
+    np.not_equal(sc[1:], sc[:-1], out=schange[1:])
+    cl_rep = r_val[sorder[_segment_first(schange)]]  # per raw cluster id
+
+    # ---- order clusters per item: (support desc, str(rep), first occurrence)
+    final_order = np.lexsort((cl_first, str_rank[cl_rep], -cl_count, cl_item))
+    cluster_item = cl_item[final_order]
+    cluster_value = cl_rep[final_order]
+    cluster_support = cl_count[final_order]
+    rank_of = np.empty(n_clusters, dtype=np.int64)
+    rank_of[final_order] = np.arange(n_clusters, dtype=np.int64)
+    claim_cluster = rank_of[raw_cluster]
+    n_kept = len(item_index)
+    item_start = np.searchsorted(
+        cluster_item, np.arange(n_kept + 1, dtype=np.int64)
+    )
+
+    # ---- claims grouped per cluster, claim insertion order inside
+    claim_order = np.lexsort((pos, claim_cluster))
+    return CompiledClusters(
+        item_index=item_index,
+        item_attr=item_attr,
+        item_start=item_start,
+        cluster_item=cluster_item,
+        cluster_value=cluster_value,
+        cluster_support=cluster_support.astype(np.int64),
+        claim_source=c_src[claim_order],
+        claim_cluster=claim_cluster[claim_order],
+        claim_value=c_val[claim_order],
+        claim_granularity=c_gran[claim_order],
+    )
+
+
+def materialize_clusterings(
+    view: ColumnarView, compiled: CompiledClusters
+) -> Dict[DataItem, ItemClustering]:
+    """Rehydrate compiled clusters into per-item ``ItemClustering`` objects."""
+    claim_bounds = np.concatenate(
+        ([0], np.cumsum(compiled.cluster_support))
+    ).tolist()
+    starts = compiled.item_start.tolist()
+    item_codes = compiled.item_index.tolist()
+    rep_codes = compiled.cluster_value.tolist()
+    src_codes = compiled.claim_source.tolist()
+    val_codes = compiled.claim_value.tolist()
+    sources, values, items = view.sources, view.values, view.items
+
+    clusterings: Dict[DataItem, ItemClustering] = {}
+    for local, code in enumerate(item_codes):
+        clusters = []
+        for c in range(starts[local], starts[local + 1]):
+            providers = {
+                sources[src_codes[k]]: values[val_codes[k]]
+                for k in range(claim_bounds[c], claim_bounds[c + 1])
+            }
+            clusters.append(
+                ValueCluster(representative=values[rep_codes[c]], providers=providers)
+            )
+        clusterings[items[code]] = ItemClustering(clusters=clusters)
+    return clusterings

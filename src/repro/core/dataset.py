@@ -16,7 +16,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
+import numpy as np
+
 from repro.core.attributes import AttributeSpec, AttributeTable, ValueKind
+from repro.core.columnar import (
+    ColumnarView,
+    build_view,
+    compile_clusters,
+    compute_tolerances,
+    materialize_clusterings,
+)
 from repro.core.records import Claim, DataItem, SourceMeta, Value
 from repro.core.tolerance import ItemClustering, attribute_tolerance, cluster_claims
 from repro.errors import SchemaError
@@ -37,6 +46,9 @@ class Dataset:
     _frozen: bool = False
     _tolerances: Optional[Dict[str, float]] = None
     _clusterings: Optional[Dict[DataItem, ItemClustering]] = None
+    _columnar: Optional[ColumnarView] = field(default=None, repr=False)
+    _source_ids: Optional[List[str]] = field(default=None, repr=False)
+    _num_claims: Optional[int] = None
 
     # ------------------------------------------------------------------ build
     def add_source(self, meta: SourceMeta) -> None:
@@ -59,13 +71,39 @@ class Dataset:
         self._objects.add(item.object_id)
 
     def freeze(self) -> "Dataset":
+        """Mark the snapshot immutable, enabling the derived-data caches.
+
+        The columnar claim view is built lazily on first use and cached from
+        then on (building it here eagerly would tax every daily snapshot and
+        ``without_sources`` clone, most of which are only read through the
+        dict views).
+        """
         self._frozen = True
         return self
 
     # ------------------------------------------------------------------ views
     @property
+    def columnar(self) -> ColumnarView:
+        """The snapshot's claims as flat numpy columns (cached once frozen).
+
+        Every vectorized kernel — tolerances, bulk clustering, fusion-problem
+        compilation, source subsetting — runs off this view instead of
+        re-walking the claim dicts.
+        """
+        if self._columnar is not None:
+            return self._columnar
+        view = build_view(self._by_item, self.sources, self.attributes)
+        if self._frozen:
+            self._columnar = view
+        return view
+
+    @property
     def source_ids(self) -> List[str]:
-        return list(self.sources)
+        if not self._frozen:
+            return list(self.sources)
+        if self._source_ids is None:
+            self._source_ids = list(self.sources)
+        return list(self._source_ids)  # copy: callers may sort/mutate
 
     @property
     def num_sources(self) -> int:
@@ -89,7 +127,13 @@ class Dataset:
 
     @property
     def num_claims(self) -> int:
-        return sum(len(claims) for claims in self._by_item.values())
+        if not self._frozen:
+            return sum(len(claims) for claims in self._by_item.values())
+        if self._num_claims is None:
+            self._num_claims = sum(
+                len(claims) for claims in self._by_item.values()
+            )
+        return self._num_claims
 
     def claims_on(self, item: DataItem) -> Dict[str, Claim]:
         """All claims on one data item, keyed by source id."""
@@ -126,6 +170,13 @@ class Dataset:
         return self._tolerances.get(attribute, 0.0)
 
     def _compute_tolerances(self) -> Dict[str, float]:
+        if self._frozen:
+            view = self.columnar
+            per_attr = compute_tolerances(view)
+            return dict(zip(view.attr_names, per_attr.tolist()))
+        return self._compute_tolerances_python()
+
+    def _compute_tolerances_python(self) -> Dict[str, float]:
         values_by_attr: Dict[str, List[float]] = {}
         for item, claims in self._by_item.items():
             spec = self.attributes[item.attribute]
@@ -145,9 +196,25 @@ class Dataset:
         return tolerances
 
     def clustering(self, item: DataItem) -> ItemClustering:
-        """The bucketed value clustering of one item (cached once frozen)."""
+        """The bucketed value clustering of one item (cached once frozen).
+
+        On a frozen dataset the first request compiles *every* item's
+        clustering in one vectorized pass over the columnar view; later
+        requests are dict lookups.  Items the vectorized kernel cannot handle
+        (non-numeric values under a bucketed attribute) fall back to the
+        per-item Python path, preserving the legacy behaviour.
+        """
         if self._clusterings is None:
             self._clusterings = {}
+            if self._frozen:
+                view = self.columnar
+                tolerances = self._tolerance_array()
+                try:
+                    compiled = compile_clusters(view, tolerances)
+                except ValueError:
+                    pass  # per-item fallback below reproduces the legacy error
+                else:
+                    self._clusterings = materialize_clusterings(view, compiled)
         cached = self._clusterings.get(item)
         if cached is not None:
             return cached
@@ -158,6 +225,15 @@ class Dataset:
         if self._frozen:
             self._clusterings[item] = clustering
         return clustering
+
+    def _tolerance_array(self) -> np.ndarray:
+        """Tolerances aligned with the columnar view's attribute order."""
+        if self._tolerances is None:
+            self._tolerances = self._compute_tolerances()
+        return np.asarray(
+            [self._tolerances[name] for name in self.attributes.names],
+            dtype=np.float64,
+        )
 
     def values_match(self, attribute: str, a: Value, b: Value) -> bool:
         """Tolerance-aware equality of two values of one attribute."""

@@ -12,13 +12,17 @@ Figure 10 buckets precision by the item's dominance factor.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Union
 
 from repro.core.dataset import Dataset
 from repro.core.gold import GoldStandard
 from repro.core.records import DataItem
-from repro.fusion.base import FusionResult
+from repro.fusion.base import FusionProblem, FusionResult
 from repro.profiling.dominance import DOMINANCE_BUCKETS, dominance_bucket
+
+#: Anything exposing ``values_match(attribute, a, b)`` — a snapshot or a
+#: compiled (possibly source-restricted) fusion problem.
+DatasetLike = Union[Dataset, FusionProblem]
 
 
 @dataclass
@@ -40,9 +44,15 @@ class PrecisionRecall:
 
 
 def evaluate(
-    dataset: Dataset, gold: GoldStandard, result: FusionResult
+    dataset: DatasetLike, gold: GoldStandard, result: FusionResult
 ) -> PrecisionRecall:
-    """Score one fusion result against the gold standard."""
+    """Score one fusion result against the gold standard.
+
+    ``dataset`` may be the snapshot or the compiled :class:`FusionProblem`
+    the result was produced from (both provide the tolerance-aware
+    ``values_match`` used for gold matching) — source-restricted problems
+    have no backing dataset.
+    """
     num_output = num_correct = 0
     errors: List[DataItem] = []
     for item in gold.items:
@@ -66,7 +76,7 @@ def evaluate(
 
 
 def error_items(
-    dataset: Dataset, gold: GoldStandard, result: FusionResult
+    dataset: DatasetLike, gold: GoldStandard, result: FusionResult
 ) -> Set[DataItem]:
     """Gold items on which the result is wrong (or missing)."""
     wrong: Set[DataItem] = set()

@@ -57,23 +57,27 @@ def recall_as_sources_added(
     method_names: Sequence[str],
     ordering: Optional[List[str]] = None,
     prefix_sizes: Optional[Sequence[int]] = None,
+    problem: Optional[FusionProblem] = None,
 ) -> Dict[str, RecallCurve]:
     """Figure 9: recall of each method over growing source prefixes.
 
     ``prefix_sizes`` defaults to every size from 1 to all sources; pass a
-    sparser grid to keep large sweeps fast.
+    sparser grid to keep large sweeps fast.  The snapshot is compiled to a
+    :class:`FusionProblem` once (pass ``problem`` to reuse a cached one) and
+    every prefix is carved out with ``restrict_sources`` — no per-prefix
+    dataset copies or re-clustering.
     """
     order = ordering if ordering is not None else sources_by_recall(dataset, gold)
     sizes = list(prefix_sizes) if prefix_sizes is not None else list(
         range(1, len(order) + 1)
     )
+    base = problem if problem is not None else FusionProblem(dataset)
     curves: Dict[str, List[float]] = {name: [] for name in method_names}
     for size in sizes:
-        subset = dataset.restricted_to_sources(order[:size])
-        problem = FusionProblem(subset)
+        subproblem = base.restrict_sources(order[:size])
         for name in method_names:
-            result = make_method(name).run(problem)
-            curves[name].append(evaluate(subset, gold, result).recall)
+            result = make_method(name).run(subproblem)
+            curves[name].append(evaluate(subproblem, gold, result).recall)
     return {
         name: RecallCurve(method=name, recalls=values)
         for name, values in curves.items()

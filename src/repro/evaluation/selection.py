@@ -44,13 +44,15 @@ class SelectionResult:
 
 
 def _fusion_recall(
-    dataset: Dataset, gold: GoldStandard, sources: Sequence[str], method: str
+    base: FusionProblem, gold: GoldStandard, sources: Sequence[str], method: str
 ) -> float:
-    subset = dataset.restricted_to_sources(sources)
-    if subset.num_items == 0:
+    """Fusion recall on a source subset, carved from the compiled problem."""
+    try:
+        subproblem = base.restrict_sources(sources)
+    except FusionError:  # every item lost all its claims
         return 0.0
-    result = make_method(method).run(FusionProblem(subset))
-    return evaluate(subset, gold, result).recall
+    result = make_method(method).run(subproblem)
+    return evaluate(subproblem, gold, result).recall
 
 
 def greedy_source_selection(
@@ -73,6 +75,7 @@ def greedy_source_selection(
     if not pool:
         raise FusionError("no candidate sources to select from")
     limit = max_sources if max_sources is not None else len(pool)
+    base = FusionProblem(dataset)
 
     selected: List[str] = []
     history: List[float] = []
@@ -81,7 +84,7 @@ def greedy_source_selection(
         best_source = None
         best_recall = current
         for candidate in pool:
-            recall = _fusion_recall(dataset, gold, selected + [candidate], method)
+            recall = _fusion_recall(base, gold, selected + [candidate], method)
             if recall > best_recall + min_gain or (
                 best_source is None and not selected
             ):
@@ -95,7 +98,7 @@ def greedy_source_selection(
         current = best_recall
         history.append(current)
 
-    all_recall = _fusion_recall(dataset, gold, dataset.source_ids, method)
+    all_recall = _fusion_recall(base, gold, dataset.source_ids, method)
     return SelectionResult(
         selected=selected,
         recall=current,
@@ -113,15 +116,16 @@ def recall_prefix_selection(
     """Cut the recall-ordered source list at the fusion-recall peak."""
     order = sources_by_recall(dataset, gold)
     limit = min(max_prefix or len(order), len(order))
+    base = FusionProblem(dataset)
     history: List[float] = []
     best_recall, best_size = -1.0, 1
     for size in range(1, limit + 1):
-        recall = _fusion_recall(dataset, gold, order[:size], method)
+        recall = _fusion_recall(base, gold, order[:size], method)
         history.append(recall)
         if recall > best_recall:
             best_recall, best_size = recall, size
     all_recall = history[-1] if limit == len(order) else _fusion_recall(
-        dataset, gold, order, method
+        base, gold, order, method
     )
     return SelectionResult(
         selected=order[:best_size],

@@ -60,7 +60,12 @@ def run(
             )
         )
         curves[domain] = recall_as_sources_added(
-            snapshot, gold, methods, ordering=order, prefix_sizes=prefix_sizes
+            snapshot,
+            gold,
+            methods,
+            ordering=order,
+            prefix_sizes=prefix_sizes,
+            problem=ctx.problem(domain),  # compile once, slice per prefix
         )
         orderings[domain] = order
         sizes[domain] = prefix_sizes

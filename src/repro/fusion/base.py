@@ -22,14 +22,19 @@ Table 7), and result packaging.  Concrete methods override
 from __future__ import annotations
 
 import abc
-import math
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.attributes import ValueKind
+from repro.core.columnar import (
+    ColumnarView,
+    CompiledClusters,
+    compile_clusters,
+    compute_tolerances,
+)
 from repro.core.dataset import Dataset
 from repro.core.records import DataItem, Value
 from repro.errors import FusionError
@@ -69,58 +74,70 @@ class FusionProblem:
     """
 
     def __init__(self, dataset: Dataset):
+        view = dataset.columnar
+        attr_tol = dataset._tolerance_array()
+        compiled = compile_clusters(view, attr_tol)
+        self._init_from(
+            view=view,
+            compiled=compiled,
+            sources=list(view.sources),
+            source_codes=np.arange(view.n_sources, dtype=np.int64),
+            attr_tol=attr_tol,
+            claim_mask=None,
+            dataset=dataset,
+        )
+
+    def _init_from(
+        self,
+        *,
+        view: ColumnarView,
+        compiled: CompiledClusters,
+        sources: List[str],
+        source_codes: np.ndarray,
+        attr_tol: np.ndarray,
+        claim_mask: Optional[np.ndarray],
+        dataset: Optional[Dataset],
+    ) -> None:
+        """Populate the flat arrays from a compiled columnar kernel result."""
         self.dataset = dataset
-        self.items: List[DataItem] = list(dataset.items)
+        self._view: Optional[ColumnarView] = view
+        self._claim_mask = claim_mask
+        self._source_codes = np.asarray(source_codes, dtype=np.int64)
+        self._attr_specs = view.attr_specs
+        self._attr_tol = attr_tol
+
+        self.items: List[DataItem] = [
+            view.items[i] for i in compiled.item_index.tolist()
+        ]
         self.n_items = len(self.items)
         if self.n_items == 0:
             raise FusionError("cannot fuse an empty dataset")
-        self.sources: List[str] = list(dataset.source_ids)
-        self.n_sources = len(self.sources)
-        self.source_index = {s: i for i, s in enumerate(self.sources)}
-        self.attributes: List[str] = dataset.attributes.names
+        self.sources = sources
+        self.n_sources = len(sources)
+        self.source_index = {s: i for i, s in enumerate(sources)}
+        self.attributes: List[str] = list(view.attr_names)
         self.attr_index = {a: i for i, a in enumerate(self.attributes)}
         self.n_attrs = len(self.attributes)
 
-        cluster_item: List[int] = []
-        cluster_rep: List[Value] = []
-        cluster_support: List[int] = []
-        item_start = [0]
-        item_attr: List[int] = []
-        claim_source: List[int] = []
-        claim_cluster: List[int] = []
-        claim_granularity: List[float] = []  # 0 = exact
-        claim_value: List[Value] = []
-
-        for item_idx, item in enumerate(self.items):
-            clustering = dataset.clustering(item)
-            item_attr.append(self.attr_index[item.attribute])
-            for cluster in clustering.clusters:
-                cluster_idx = len(cluster_item)
-                cluster_item.append(item_idx)
-                cluster_rep.append(cluster.representative)
-                cluster_support.append(cluster.support)
-                claims = dataset.claims_on(item)
-                for source_id in cluster.providers:
-                    claim = claims[source_id]
-                    claim_source.append(self.source_index[source_id])
-                    claim_cluster.append(cluster_idx)
-                    claim_granularity.append(claim.granularity or 0.0)
-                    claim_value.append(claim.value)
-            item_start.append(len(cluster_item))
-
-        self.cluster_item = np.asarray(cluster_item, dtype=np.int64)
-        self.cluster_rep: List[Value] = cluster_rep
-        self.cluster_support = np.asarray(cluster_support, dtype=np.int64)
-        self.item_start = np.asarray(item_start, dtype=np.int64)
-        self.item_attr = np.asarray(item_attr, dtype=np.int64)
-        self.n_clusters = len(cluster_rep)
-        self.claim_source = np.asarray(claim_source, dtype=np.int64)
-        self.claim_cluster = np.asarray(claim_cluster, dtype=np.int64)
+        self.cluster_item = compiled.cluster_item
+        self.cluster_support = compiled.cluster_support
+        self.item_start = compiled.item_start
+        self.item_attr = compiled.item_attr
+        self.n_clusters = compiled.n_clusters
+        # The kernel emits view-global source codes; remap to problem-local.
+        remap = np.full(view.n_sources, -1, dtype=np.int64)
+        remap[self._source_codes] = np.arange(self.n_sources, dtype=np.int64)
+        self.claim_source = remap[compiled.claim_source]
+        self.claim_cluster = compiled.claim_cluster
         self.claim_item = self.cluster_item[self.claim_cluster]
         self.claim_attr = self.item_attr[self.claim_item]
         self.n_claims = len(self.claim_source)
-        self._claim_granularity = np.asarray(claim_granularity, dtype=np.float64)
-        self._claim_value = claim_value
+        self._claim_granularity = compiled.claim_granularity
+        self._claim_value_code = compiled.claim_value
+        self._cluster_value_code = compiled.cluster_value
+        self._claim_numeric = view.value_numeric[compiled.claim_value]
+        self._cluster_numeric = view.value_numeric[compiled.cluster_value]
+        self._cluster_rep: Optional[List[Value]] = None
 
         self.claims_per_source = np.bincount(
             self.claim_source, minlength=self.n_sources
@@ -132,6 +149,72 @@ class FusionProblem:
 
         self._sim: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
         self._fmt: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        self._copy: Optional[CopyStructures] = None
+
+    @property
+    def cluster_rep(self) -> List[Value]:
+        """Representative value of each cluster (materialized lazily)."""
+        if self._cluster_rep is None:
+            values = self._view.values
+            self._cluster_rep = [
+                values[i] for i in self._cluster_value_code.tolist()
+            ]
+        return self._cluster_rep
+
+    @cluster_rep.setter
+    def cluster_rep(self, reps: List[Value]) -> None:
+        self._cluster_rep = reps
+
+    # --------------------------------------------------------- source subsets
+    def restrict_sources(self, source_ids: Iterable[str]) -> "FusionProblem":
+        """Compile a sub-problem over a subset of sources, zero rebuild.
+
+        Equivalent to ``FusionProblem(dataset.restricted_to_sources(ids))``
+        — tolerances, dominant values, bucketing, and cluster ordering are
+        all recomputed over the surviving claims, and items left with no
+        claims are dropped — but it slices the already-built columnar view
+        instead of copying and re-clustering the dataset.  Restrictions
+        compose: restricting an already-restricted problem intersects the
+        claim masks.
+        """
+        if self._view is None:
+            raise FusionError(
+                "restrict_sources requires a columnar-compiled problem"
+            )
+        wanted = set(source_ids)
+        if all(s in wanted for s in self.sources):
+            return self  # full cover: the compiled problem is unchanged
+        keep = [i for i, s in enumerate(self.sources) if s in wanted]
+        new_sources = [self.sources[i] for i in keep]
+        new_codes = self._source_codes[keep]
+        view = self._view
+        keep_view = np.zeros(view.n_sources, dtype=bool)
+        keep_view[new_codes] = True
+        mask = keep_view[view.claim_source]
+        if self._claim_mask is not None:
+            mask &= self._claim_mask
+        attr_tol = compute_tolerances(view, mask)
+        compiled = compile_clusters(view, attr_tol, mask)
+        problem = FusionProblem.__new__(FusionProblem)
+        problem._init_from(
+            view=view,
+            compiled=compiled,
+            sources=new_sources,
+            source_codes=new_codes,
+            attr_tol=attr_tol,
+            claim_mask=mask,
+            dataset=None,
+        )
+        return problem
+
+    def values_match(self, attribute: str, a: Value, b: Value) -> bool:
+        """Tolerance-aware value equality under this problem's tolerances.
+
+        Restricted problems have no backing :class:`Dataset`; this mirrors
+        ``Dataset.values_match`` so evaluation can run off the problem.
+        """
+        idx = self.attr_index[attribute]
+        return self._attr_specs[idx].matches(a, b, float(self._attr_tol[idx]))
 
     # ----------------------------------------------------------- lazy extras
     @property
@@ -146,45 +229,40 @@ class FusionProblem:
         return self._sim
 
     def _build_similarity(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        edges_a: List[int] = []
-        edges_b: List[int] = []
-        edges_w: List[float] = []
-        dataset = self.dataset
-        for item_idx, item in enumerate(self.items):
-            start, stop = self.item_start[item_idx], self.item_start[item_idx + 1]
-            if stop - start < 2:
-                continue
-            spec = dataset.spec(item.attribute)
-            if spec.kind is ValueKind.STRING:
-                continue
-            tol = dataset.tolerance(item.attribute)
-            if tol <= 0:
-                continue
-            reps = []
-            for c in range(start, stop):
-                try:
-                    reps.append(float(self.cluster_rep[c]))  # type: ignore[arg-type]
-                except (TypeError, ValueError):
-                    reps.append(math.nan)
-            for i in range(stop - start):
-                if math.isnan(reps[i]):
-                    continue
-                for j in range(stop - start):
-                    if i == j or math.isnan(reps[j]):
-                        continue
-                    distance = abs(reps[i] - reps[j]) / tol
-                    if distance > SIMILARITY_WINDOW:
-                        continue
-                    weight = math.exp(-distance / SIMILARITY_SCALE)
-                    if weight >= SIMILARITY_FLOOR:
-                        edges_a.append(start + i)
-                        edges_b.append(start + j)
-                        edges_w.append(weight)
-        return (
-            np.asarray(edges_a, dtype=np.int64),
-            np.asarray(edges_b, dtype=np.int64),
-            np.asarray(edges_w, dtype=np.float64),
+        empty = (
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.float64),
         )
+        k = np.diff(self.item_start)
+        is_string = np.asarray(
+            [spec.kind is ValueKind.STRING for spec in self._attr_specs],
+            dtype=bool,
+        )[self.item_attr]
+        tol = self._attr_tol[self.item_attr]
+        eligible = (k >= 2) & ~is_string & (tol > 0)
+        if not eligible.any():
+            return empty
+        # All ordered within-item cluster pairs of the eligible segments,
+        # generated in (item, i, j) order — the legacy loop's order.
+        ks = k[eligible]
+        starts = self.item_start[:-1][eligible]
+        tols = tol[eligible]
+        n2 = ks * ks
+        total = int(n2.sum())
+        pair_seg = np.repeat(np.arange(len(ks)), n2)
+        offset = np.repeat(np.cumsum(n2) - n2, n2)
+        within = np.arange(total, dtype=np.int64) - offset
+        kk = ks[pair_seg]
+        a = starts[pair_seg] + within // kk
+        b = starts[pair_seg] + within % kk
+        reps = self._cluster_numeric
+        ra, rb = reps[a], reps[b]
+        distance = np.abs(ra - rb) / tols[pair_seg]
+        keep = (a != b) & (distance <= SIMILARITY_WINDOW)  # NaN compares False
+        weight = np.exp(-distance[keep] / SIMILARITY_SCALE)
+        strong = weight >= SIMILARITY_FLOOR
+        return a[keep][strong], b[keep][strong], weight[strong]
 
     @property
     def format_edges(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -199,51 +277,60 @@ class FusionProblem:
         return self._fmt
 
     def _build_format_edges(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        src: List[int] = []
-        dst: List[int] = []
-        wgt: List[float] = []
+        empty = (
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.float64),
+        )
         rounded = np.flatnonzero(self._claim_granularity > 0)
-        for claim_idx in rounded:
-            granularity = self._claim_granularity[claim_idx]
-            own_cluster = self.claim_cluster[claim_idx]
-            item_idx = self.cluster_item[own_cluster]
-            try:
-                own_value = float(self._claim_value[claim_idx])  # type: ignore[arg-type]
-            except (TypeError, ValueError):
-                continue
-            start, stop = self.item_start[item_idx], self.item_start[item_idx + 1]
-            for c in range(start, stop):
-                if c == own_cluster:
-                    continue
-                try:
-                    rep = float(self.cluster_rep[c])  # type: ignore[arg-type]
-                except (TypeError, ValueError):
-                    continue
-                if abs(round(rep / granularity) * granularity - own_value) <= granularity * 1e-9:
-                    src.append(int(self.claim_source[claim_idx]))
-                    dst.append(c)
-                    wgt.append(FORMAT_WEIGHT)
+        if not len(rounded):
+            return empty
+        own_num = self._claim_numeric[rounded]
+        convertible = ~np.isnan(own_num)
+        rounded, own_num = rounded[convertible], own_num[convertible]
+        if not len(rounded):
+            return empty
+        # Pair each rounded claim with every cluster of its item, in
+        # (claim, cluster) order — the legacy loop's order.
+        gran = self._claim_granularity[rounded]
+        own_cluster = self.claim_cluster[rounded]
+        items = self.claim_item[rounded]
+        counts = self.item_start[items + 1] - self.item_start[items]
+        total = int(counts.sum())
+        offset = np.repeat(np.cumsum(counts) - counts, counts)
+        within = np.arange(total, dtype=np.int64) - offset
+        pair_claim = np.repeat(np.arange(len(rounded)), counts)
+        c = self.item_start[items][pair_claim] + within
+        rep = self._cluster_numeric[c]
+        g = gran[pair_claim]
+        subsumes = (
+            np.abs(np.round(rep / g) * g - own_num[pair_claim]) <= g * 1e-9
+        )  # NaN reps compare False
+        keep = (c != own_cluster[pair_claim]) & subsumes
+        src = self.claim_source[rounded][pair_claim[keep]]
+        dst = c[keep]
         return (
-            np.asarray(src, dtype=np.int64),
-            np.asarray(dst, dtype=np.int64),
-            np.asarray(wgt, dtype=np.float64),
+            src.astype(np.int64),
+            dst,
+            np.full(len(dst), FORMAT_WEIGHT, dtype=np.float64),
         )
 
     # ------------------------------------------------------------- selection
     def argmax_per_item(self, scores: np.ndarray) -> np.ndarray:
         """Index of the best-scoring cluster of each item (first on ties)."""
-        best = np.empty(self.n_items, dtype=np.int64)
-        starts, stops = self.item_start[:-1], self.item_start[1:]
-        for i in range(self.n_items):
-            segment = scores[starts[i]:stops[i]]
-            best[i] = starts[i] + int(np.argmax(segment))
-        return best
+        starts = self.item_start[:-1]
+        seg_max = np.maximum.reduceat(scores, starts)
+        # First index attaining the segment max (NaN wins, like np.argmax).
+        is_max = (scores == seg_max[self.cluster_item]) | np.isnan(scores)
+        candidates = np.where(
+            is_max, np.arange(self.n_clusters, dtype=np.int64), self.n_clusters
+        )
+        return np.minimum.reduceat(candidates, starts)
 
     def selection_to_values(self, selected: np.ndarray) -> Dict[DataItem, Value]:
-        return {
-            self.items[i]: self.cluster_rep[int(selected[i])]
-            for i in range(self.n_items)
-        }
+        reps = self.cluster_rep
+        chosen = np.asarray(selected).tolist()
+        return {item: reps[chosen[i]] for i, item in enumerate(self.items)}
 
     def trust_vector(self, trust_by_source: Dict[str, float], default: float) -> np.ndarray:
         vector = np.full(self.n_sources, default, dtype=np.float64)
@@ -252,6 +339,44 @@ class FusionProblem:
             if idx is not None:
                 vector[idx] = value
         return vector
+
+    # -------------------------------------------------------- copy detection
+    @property
+    def copy_structures(self) -> "CopyStructures":
+        """Cached sparse incidence matrices for copy detection.
+
+        The source-cluster membership matrix and the pairwise ``same`` /
+        ``shared`` overlap counts do not depend on the current truth
+        selection, so AccuCopy's per-round detection reuses them instead of
+        rebuilding CSR matrices from the claim arrays every round.
+        """
+        if self._copy is None:
+            import scipy.sparse as sp
+
+            ones = np.ones(self.n_claims)
+            membership = sp.csr_matrix(
+                (ones, (self.claim_source, self.claim_cluster)),
+                shape=(self.n_sources, self.n_clusters),
+            )
+            incidence = sp.csr_matrix(
+                (ones, (self.claim_source, self.claim_item)),
+                shape=(self.n_sources, self.n_items),
+            )
+            self._copy = CopyStructures(
+                membership=membership,
+                same=(membership @ membership.T).toarray(),
+                shared=(incidence @ incidence.T).toarray(),
+            )
+        return self._copy
+
+
+@dataclass(frozen=True)
+class CopyStructures:
+    """Selection-independent sparse structures shared by detection rounds."""
+
+    membership: object  # (n_sources, n_clusters) CSR
+    same: np.ndarray    # (S, S) pairs' same-cluster claim counts
+    shared: np.ndarray  # (S, S) pairs' shared-item counts
 
 
 @dataclass

@@ -156,16 +156,19 @@ def select_plausible_values(
     )[problem.claim_source]
     scores = np.maximum(accumulate_by_cluster(problem, votes), 0.0)
 
+    # Keep clusters within score_ratio of their item's best, ordered by
+    # descending score (stable on ties, like the per-item sort it replaces).
+    best = np.maximum.reduceat(scores, problem.item_start[:-1])
+    kept = np.flatnonzero(scores >= score_ratio * best[problem.cluster_item])
+    order = np.lexsort((kept, -scores[kept], problem.cluster_item[kept]))
+    ranked = kept[order]
+    ranked_item = problem.cluster_item[ranked]
+    bounds = np.searchsorted(ranked_item, np.arange(problem.n_items + 1))
+    reps = problem.cluster_rep
+    ranked_list = ranked.tolist()
     plausible: Dict[DataItem, List[Value]] = {}
     for item_idx, item in enumerate(problem.items):
-        start, stop = problem.item_start[item_idx], problem.item_start[item_idx + 1]
-        segment = scores[start:stop]
-        best = float(segment.max())
-        keep = [
-            (float(segment[k]), problem.cluster_rep[start + k])
-            for k in range(stop - start)
-            if segment[k] >= score_ratio * best
-        ]
-        keep.sort(key=lambda pair: -pair[0])
-        plausible[item] = [value for _p, value in keep[:max_values]]
+        lo = int(bounds[item_idx])
+        hi = min(int(bounds[item_idx + 1]), lo + max_values)
+        plausible[item] = [reps[c] for c in ranked_list[lo:hi]]
     return plausible

@@ -1,0 +1,369 @@
+"""Reference (pre-vectorization) implementations of the engine's hot paths.
+
+These are the dict-walking, per-item Python-loop code paths the columnar
+kernels replaced.  They are kept verbatim for two reasons:
+
+* the equivalence suite (``tests/fusion/test_vectorized_equivalence.py``)
+  proves every registered fusion method selects identical values and
+  converges to the same trust on both paths;
+* the benchmark harness (``benchmarks/run_bench.py``) times old versus new
+  to track the speedups in ``BENCH_fusion.json``.
+
+Nothing in the library imports this module; it is test/bench support only.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.dataset import Dataset
+from repro.core.gold import GoldStandard
+from repro.core.records import DataItem, Value
+from repro.core.attributes import ValueKind
+from repro.core.tolerance import cluster_claims
+from repro.copying.detection import (
+    DEFAULT_AGREEMENT_GATE,
+    DEFAULT_COPY_PROB,
+    DEFAULT_MIN_OVERLAP,
+    DEFAULT_N_FALSE,
+    DEFAULT_PRIOR,
+    CopyDetectionResult,
+    _near_true_clusters,
+)
+from repro.errors import FusionError
+from repro.fusion.base import (
+    FORMAT_WEIGHT,
+    SIMILARITY_FLOOR,
+    SIMILARITY_SCALE,
+    SIMILARITY_WINDOW,
+    FusionProblem,
+    accumulate_by_cluster,
+)
+
+_EPS = 1e-12
+
+
+class LegacyFusionProblem(FusionProblem):
+    """The original ``FusionProblem``: per-item Python compile and loops.
+
+    Compiles a snapshot by walking the claim dicts item by item (clustering
+    each with :func:`repro.core.tolerance.cluster_claims`) and keeps the
+    original Python-loop kernels for argmax, similarity edges, and format
+    edges.  ``restrict_sources`` is unavailable (``_view`` is ``None``) —
+    subsetting on this path goes through ``Dataset.without_sources``.
+    """
+
+    def __init__(self, dataset: Dataset):  # noqa: D107 - see class docstring
+        self.dataset = dataset
+        self._view = None
+        self._claim_mask = None
+        self._copy = None
+        self.items: List[DataItem] = list(dataset.items)
+        self.n_items = len(self.items)
+        if self.n_items == 0:
+            raise FusionError("cannot fuse an empty dataset")
+        self.sources: List[str] = list(dataset.source_ids)
+        self.n_sources = len(self.sources)
+        self.source_index = {s: i for i, s in enumerate(self.sources)}
+        self.attributes: List[str] = dataset.attributes.names
+        self.attr_index = {a: i for i, a in enumerate(self.attributes)}
+        self.n_attrs = len(self.attributes)
+        self._attr_specs = [dataset.attributes[a] for a in self.attributes]
+        self._tolerances = dataset._compute_tolerances_python()
+        self._attr_tol = np.asarray(
+            [self._tolerances[a] for a in self.attributes], dtype=np.float64
+        )
+
+        cluster_item: List[int] = []
+        cluster_rep: List[Value] = []
+        cluster_support: List[int] = []
+        item_start = [0]
+        item_attr: List[int] = []
+        claim_source: List[int] = []
+        claim_cluster: List[int] = []
+        claim_granularity: List[float] = []  # 0 = exact
+        claim_value: List[Value] = []
+
+        for item_idx, item in enumerate(self.items):
+            clustering = cluster_claims(
+                dataset.claims_on(item),
+                dataset.attributes[item.attribute],
+                self._tolerances[item.attribute],
+            )
+            item_attr.append(self.attr_index[item.attribute])
+            for cluster in clustering.clusters:
+                cluster_idx = len(cluster_item)
+                cluster_item.append(item_idx)
+                cluster_rep.append(cluster.representative)
+                cluster_support.append(cluster.support)
+                claims = dataset.claims_on(item)
+                for source_id in cluster.providers:
+                    claim = claims[source_id]
+                    claim_source.append(self.source_index[source_id])
+                    claim_cluster.append(cluster_idx)
+                    claim_granularity.append(claim.granularity or 0.0)
+                    claim_value.append(claim.value)
+            item_start.append(len(cluster_item))
+
+        self.cluster_item = np.asarray(cluster_item, dtype=np.int64)
+        self.cluster_rep = cluster_rep
+        self.cluster_support = np.asarray(cluster_support, dtype=np.int64)
+        self.item_start = np.asarray(item_start, dtype=np.int64)
+        self.item_attr = np.asarray(item_attr, dtype=np.int64)
+        self.n_clusters = len(cluster_rep)
+        self.claim_source = np.asarray(claim_source, dtype=np.int64)
+        self.claim_cluster = np.asarray(claim_cluster, dtype=np.int64)
+        self.claim_item = self.cluster_item[self.claim_cluster]
+        self.claim_attr = self.item_attr[self.claim_item]
+        self.n_claims = len(self.claim_source)
+        self._claim_granularity = np.asarray(claim_granularity, dtype=np.float64)
+        self._legacy_claim_value = claim_value
+
+        self.claims_per_source = np.bincount(
+            self.claim_source, minlength=self.n_sources
+        ).astype(np.float64)
+        self.providers_per_item = np.bincount(
+            self.claim_item, minlength=self.n_items
+        ).astype(np.float64)
+        self.clusters_per_item = np.diff(self.item_start).astype(np.float64)
+
+        self._sim = None
+        self._fmt = None
+
+    def _build_similarity(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        edges_a: List[int] = []
+        edges_b: List[int] = []
+        edges_w: List[float] = []
+        dataset = self.dataset
+        for item_idx, item in enumerate(self.items):
+            start, stop = self.item_start[item_idx], self.item_start[item_idx + 1]
+            if stop - start < 2:
+                continue
+            spec = dataset.spec(item.attribute)
+            if spec.kind is ValueKind.STRING:
+                continue
+            tol = self._tolerances[item.attribute]
+            if tol <= 0:
+                continue
+            reps = []
+            for c in range(start, stop):
+                try:
+                    reps.append(float(self.cluster_rep[c]))  # type: ignore[arg-type]
+                except (TypeError, ValueError):
+                    reps.append(math.nan)
+            for i in range(stop - start):
+                if math.isnan(reps[i]):
+                    continue
+                for j in range(stop - start):
+                    if i == j or math.isnan(reps[j]):
+                        continue
+                    distance = abs(reps[i] - reps[j]) / tol
+                    if distance > SIMILARITY_WINDOW:
+                        continue
+                    weight = math.exp(-distance / SIMILARITY_SCALE)
+                    if weight >= SIMILARITY_FLOOR:
+                        edges_a.append(start + i)
+                        edges_b.append(start + j)
+                        edges_w.append(weight)
+        return (
+            np.asarray(edges_a, dtype=np.int64),
+            np.asarray(edges_b, dtype=np.int64),
+            np.asarray(edges_w, dtype=np.float64),
+        )
+
+    def _build_format_edges(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        src: List[int] = []
+        dst: List[int] = []
+        wgt: List[float] = []
+        rounded = np.flatnonzero(self._claim_granularity > 0)
+        for claim_idx in rounded:
+            granularity = self._claim_granularity[claim_idx]
+            own_cluster = self.claim_cluster[claim_idx]
+            item_idx = self.cluster_item[own_cluster]
+            try:
+                own_value = float(self._legacy_claim_value[claim_idx])  # type: ignore[arg-type]
+            except (TypeError, ValueError):
+                continue
+            start, stop = self.item_start[item_idx], self.item_start[item_idx + 1]
+            for c in range(start, stop):
+                if c == own_cluster:
+                    continue
+                try:
+                    rep = float(self.cluster_rep[c])  # type: ignore[arg-type]
+                except (TypeError, ValueError):
+                    continue
+                if abs(round(rep / granularity) * granularity - own_value) <= granularity * 1e-9:
+                    src.append(int(self.claim_source[claim_idx]))
+                    dst.append(c)
+                    wgt.append(FORMAT_WEIGHT)
+        return (
+            np.asarray(src, dtype=np.int64),
+            np.asarray(dst, dtype=np.int64),
+            np.asarray(wgt, dtype=np.float64),
+        )
+
+    def argmax_per_item(self, scores: np.ndarray) -> np.ndarray:
+        best = np.empty(self.n_items, dtype=np.int64)
+        starts, stops = self.item_start[:-1], self.item_start[1:]
+        for i in range(self.n_items):
+            segment = scores[starts[i]:stops[i]]
+            best[i] = starts[i] + int(np.argmax(segment))
+        return best
+
+    def selection_to_values(self, selected: np.ndarray) -> Dict[DataItem, Value]:
+        return {
+            self.items[i]: self.cluster_rep[int(selected[i])]
+            for i in range(self.n_items)
+        }
+
+
+def legacy_overlap_counts(
+    problem: FusionProblem,
+    selected: np.ndarray,
+    near_true: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(kt, kf, kd) built from scratch per call (the pre-caching path)."""
+    n_sources, n_clusters = problem.n_sources, problem.n_clusters
+    ones = np.ones(problem.n_claims)
+    membership = sp.csr_matrix(
+        (ones, (problem.claim_source, problem.claim_cluster)),
+        shape=(n_sources, n_clusters),
+    )
+    same = (membership @ membership.T).toarray()
+
+    true_mask = np.zeros(n_clusters, dtype=bool)
+    true_mask[selected] = True
+    if near_true is not None:
+        true_mask |= near_true
+    member_true = membership[:, true_mask]
+    kt = (member_true @ member_true.T).toarray()
+
+    incidence = sp.csr_matrix(
+        (ones, (problem.claim_source, problem.claim_item)),
+        shape=(n_sources, problem.n_items),
+    )
+    shared = (incidence @ incidence.T).toarray()
+
+    kf = same - kt
+    kd = shared - same
+    return kt, kf, kd
+
+
+def legacy_detect_copying(
+    problem: FusionProblem,
+    selected: np.ndarray,
+    accuracy: np.ndarray,
+    prior: float = DEFAULT_PRIOR,
+    copy_probability: float = DEFAULT_COPY_PROB,
+    n_false_values: float = DEFAULT_N_FALSE,
+    min_overlap: int = DEFAULT_MIN_OVERLAP,
+    agreement_gate: float = DEFAULT_AGREEMENT_GATE,
+    similarity_aware: bool = False,
+) -> CopyDetectionResult:
+    """The pre-caching ``detect_copying``: CSR matrices rebuilt per call."""
+    near_true = _near_true_clusters(problem, selected) if similarity_aware else None
+    kt, kf, kd = legacy_overlap_counts(problem, selected, near_true)
+
+    acc = np.clip(accuracy, 0.05, 0.95)
+    pair_acc = 0.5 * (acc[:, None] + acc[None, :])
+    pt_indep = np.clip(acc[:, None] * acc[None, :], _EPS, 1 - _EPS)
+    pf_indep = np.clip(
+        (1 - acc[:, None]) * (1 - acc[None, :]) / n_false_values, _EPS, 1 - _EPS
+    )
+    pd_indep = np.clip(1.0 - pt_indep - pf_indep, _EPS, 1 - _EPS)
+
+    c = copy_probability
+    pt_dep = np.clip(c * pair_acc + (1 - c) * pt_indep, _EPS, 1 - _EPS)
+    pf_dep = np.clip(c * (1 - pair_acc) + (1 - c) * pf_indep, _EPS, 1 - _EPS)
+    pd_dep = np.clip((1 - c) * pd_indep, _EPS, 1 - _EPS)
+
+    logit = (
+        np.log(prior / (1.0 - prior))
+        + kt * np.log(pt_dep / pt_indep)
+        + kf * np.log(pf_dep / pf_indep)
+        + kd * np.log(pd_dep / pd_indep)
+    )
+    probability = 1.0 / (1.0 + np.exp(-np.clip(logit, -60, 60)))
+    shared = kt + kf + kd
+    probability[shared < min_overlap] = 0.0
+    with np.errstate(invalid="ignore"):
+        agreement = np.where(shared > 0, (kt + kf) / np.maximum(shared, 1), 0.0)
+    probability[agreement < agreement_gate] = 0.0
+    np.fill_diagonal(probability, 0.0)
+    return CopyDetectionResult(sources=list(problem.sources), probability=probability)
+
+
+def legacy_independence_weights(
+    problem: FusionProblem,
+    dependence: np.ndarray,
+    copy_probability: float = DEFAULT_COPY_PROB,
+) -> np.ndarray:
+    """Per-claim independence via a dense (n_clusters, n_sources) product."""
+    scaled = copy_probability * dependence  # (S, S), zero diagonal
+    ones = np.ones(problem.n_claims)
+    membership = sp.csr_matrix(
+        (ones, (problem.claim_cluster, problem.claim_source)),
+        shape=(problem.n_clusters, problem.n_sources),
+    )
+    dependent_mass = membership @ scaled  # (C, S) dense
+    per_claim = dependent_mass[problem.claim_cluster, problem.claim_source]
+    return 1.0 / (1.0 + per_claim)
+
+
+def legacy_select_plausible_values(
+    problem: FusionProblem,
+    method=None,
+    score_ratio: float = 0.5,
+    max_values: int = 3,
+) -> Dict[DataItem, List[Value]]:
+    """The per-item Python loop version of ``select_plausible_values``."""
+    from repro.fusion.bayesian import AccuSim, _TRUST_CLIP
+
+    fusion = method if method is not None else AccuSim()
+    result = fusion.run(problem)
+    trust = problem.trust_vector(result.trust, fusion.initial_trust)
+    accuracy = np.clip(trust, *_TRUST_CLIP)
+    votes = np.log(
+        fusion.n_false_values * accuracy / (1.0 - accuracy)
+    )[problem.claim_source]
+    scores = np.maximum(accumulate_by_cluster(problem, votes), 0.0)
+
+    plausible: Dict[DataItem, List[Value]] = {}
+    for item_idx, item in enumerate(problem.items):
+        start, stop = problem.item_start[item_idx], problem.item_start[item_idx + 1]
+        segment = scores[start:stop]
+        best = float(segment.max())
+        keep = [
+            (float(segment[k]), problem.cluster_rep[start + k])
+            for k in range(stop - start)
+            if segment[k] >= score_ratio * best
+        ]
+        keep.sort(key=lambda pair: -pair[0])
+        plausible[item] = [value for _p, value in keep[:max_values]]
+    return plausible
+
+
+def legacy_recall_as_sources_added(
+    dataset: Dataset,
+    gold: GoldStandard,
+    method_names: Sequence[str],
+    ordering: List[str],
+    prefix_sizes: Sequence[int],
+) -> Dict[str, List[float]]:
+    """The pre-``restrict_sources`` Figure 9 sweep: one dataset copy and one
+    per-item problem compile per prefix size."""
+    from repro.evaluation.metrics import evaluate
+    from repro.fusion.registry import make_method
+
+    curves: Dict[str, List[float]] = {name: [] for name in method_names}
+    for size in prefix_sizes:
+        subset = dataset.restricted_to_sources(ordering[:size])
+        problem = LegacyFusionProblem(subset)
+        for name in method_names:
+            result = make_method(name).run(problem)
+            curves[name].append(evaluate(subset, gold, result).recall)
+    return curves

@@ -1,0 +1,1 @@
+"""Test package (regular package so duplicate basenames collect cleanly)."""

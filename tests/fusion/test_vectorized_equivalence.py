@@ -1,0 +1,198 @@
+"""Old slow path versus vectorized path: proof of equivalence.
+
+The columnar kernels (``repro.core.columnar``, the rebuilt
+``FusionProblem``, the cached copy-detection structures) must change the
+engine's speed, never its output.  These tests run every registered fusion
+method on both compiles of the tiny Stock and Flight collections and demand
+identical selections, trust within 1e-12, and exact agreement between
+``restrict_sources`` and the dataset-copying ``without_sources`` path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.copying.detection import (
+    detect_copying,
+    independence_weights,
+    selection_accuracy,
+)
+from repro.evaluation.metrics import evaluate
+from repro.evaluation.ordering import sources_by_recall
+from repro.fusion.base import FusionProblem
+from repro.fusion.extensions import select_plausible_values
+from repro.fusion.legacy import (
+    LegacyFusionProblem,
+    legacy_detect_copying,
+    legacy_independence_weights,
+    legacy_select_plausible_values,
+)
+from repro.fusion.registry import METHOD_NAMES, make_method
+
+DOMAINS = ("stock", "flight")
+TRUST_ATOL = 1e-12
+
+
+@pytest.fixture(scope="module", params=DOMAINS)
+def problem_pair(request):
+    collection = request.getfixturevalue(f"{request.param}_collection")
+    snapshot = collection.snapshot
+    return (
+        collection,
+        LegacyFusionProblem(snapshot),
+        FusionProblem(snapshot),
+    )
+
+
+class TestCompiledArraysMatch:
+    def test_structure_identical(self, problem_pair):
+        _, legacy, fast = problem_pair
+        assert fast.items == legacy.items
+        assert fast.sources == legacy.sources
+        assert fast.cluster_rep == legacy.cluster_rep
+        for attr in (
+            "cluster_item",
+            "cluster_support",
+            "item_start",
+            "item_attr",
+            "claim_source",
+            "claim_cluster",
+            "claim_item",
+            "claim_attr",
+            "_claim_granularity",
+        ):
+            assert np.array_equal(
+                getattr(fast, attr), getattr(legacy, attr)
+            ), attr
+
+    def test_evidence_edges_identical(self, problem_pair):
+        _, legacy, fast = problem_pair
+        for new_edges, old_edges in (
+            (fast.similarity_edges, legacy.similarity_edges),
+            (fast.format_edges, legacy.format_edges),
+        ):
+            assert np.array_equal(new_edges[0], old_edges[0])
+            assert np.array_equal(new_edges[1], old_edges[1])
+            # np.exp vs math.exp may differ in the last ulp
+            np.testing.assert_allclose(
+                new_edges[2], old_edges[2], rtol=0, atol=1e-15
+            )
+
+    def test_argmax_identical_on_random_scores(self, problem_pair):
+        _, legacy, fast = problem_pair
+        rng = np.random.default_rng(7)
+        for _ in range(10):
+            scores = rng.normal(size=fast.n_clusters)
+            assert np.array_equal(
+                fast.argmax_per_item(scores), legacy.argmax_per_item(scores)
+            )
+
+
+@pytest.mark.parametrize("method_name", METHOD_NAMES)
+class TestEveryMethodEquivalent:
+    def test_selection_and_trust(self, problem_pair, method_name):
+        _, legacy, fast = problem_pair
+        old = make_method(method_name).run(legacy)
+        new = make_method(method_name).run(fast)
+        assert new.selected == old.selected
+        assert new.rounds == old.rounds
+        assert new.converged == old.converged
+        for source in fast.sources:
+            assert new.trust[source] == pytest.approx(
+                old.trust[source], abs=TRUST_ATOL
+            )
+
+
+class TestRestrictSourcesEquivalence:
+    @pytest.mark.parametrize("size", (1, 3, 7, None))
+    def test_matches_dataset_copy(self, problem_pair, size):
+        collection, _, fast = problem_pair
+        snapshot, gold = collection.snapshot, collection.gold
+        order = sources_by_recall(snapshot, gold)
+        kept = order[: (size if size is not None else len(order) // 2)]
+        restricted = fast.restrict_sources(kept)
+        subset = snapshot.restricted_to_sources(kept)
+        rebuilt = FusionProblem(subset)
+
+        assert restricted.items == rebuilt.items
+        assert restricted.sources == rebuilt.sources
+        assert restricted.cluster_rep == rebuilt.cluster_rep
+        for attr in ("cluster_item", "cluster_support", "item_start",
+                     "claim_source", "claim_cluster"):
+            assert np.array_equal(
+                getattr(restricted, attr), getattr(rebuilt, attr)
+            ), attr
+        for attribute in restricted.attributes:
+            idx = restricted.attr_index[attribute]
+            assert restricted._attr_tol[idx] == subset.tolerance(attribute)
+
+        for method_name in ("Vote", "AccuFormatAttr", "AccuCopy"):
+            via_problem = make_method(method_name).run(restricted)
+            via_dataset = make_method(method_name).run(rebuilt)
+            assert via_problem.selected == via_dataset.selected
+            assert (
+                evaluate(restricted, gold, via_problem).recall
+                == evaluate(subset, gold, via_dataset).recall
+            )
+
+    def test_restrictions_compose(self, problem_pair):
+        collection, _, fast = problem_pair
+        order = sources_by_recall(collection.snapshot, collection.gold)
+        once = fast.restrict_sources(order[:9])
+        twice = once.restrict_sources(order[:4])
+        direct = fast.restrict_sources(order[:4])
+        assert twice.sources == direct.sources
+        assert np.array_equal(twice.claim_cluster, direct.claim_cluster)
+        assert twice.cluster_rep == direct.cluster_rep
+
+
+class TestCopyDetectionEquivalence:
+    @pytest.mark.parametrize("similarity_aware", (False, True))
+    def test_detection_identical(self, problem_pair, similarity_aware):
+        _, _, fast = problem_pair
+        selected = fast.argmax_per_item(
+            fast.cluster_support.astype(np.float64)
+        )
+        accuracy = selection_accuracy(fast, selected)
+        new = detect_copying(
+            fast, selected, accuracy, similarity_aware=similarity_aware
+        )
+        old = legacy_detect_copying(
+            fast, selected, accuracy, similarity_aware=similarity_aware
+        )
+        assert np.array_equal(new.probability, old.probability)
+
+    def test_independence_weights_identical(self, problem_pair):
+        _, _, fast = problem_pair
+        selected = fast.argmax_per_item(
+            fast.cluster_support.astype(np.float64)
+        )
+        detection = detect_copying(
+            fast, selected, selection_accuracy(fast, selected)
+        )
+        new = independence_weights(fast, detection.probability)
+        old = legacy_independence_weights(fast, detection.probability)
+        np.testing.assert_array_equal(new, old)
+
+    def test_independence_weights_dense_dependence(self, problem_pair):
+        """The involved-sources shortcut must match on a dense matrix too."""
+        _, _, fast = problem_pair
+        rng = np.random.default_rng(3)
+        dependence = rng.uniform(0.0, 1.0, (fast.n_sources, fast.n_sources))
+        dependence = 0.5 * (dependence + dependence.T)
+        np.fill_diagonal(dependence, 0.0)
+        np.testing.assert_allclose(
+            independence_weights(fast, dependence),
+            legacy_independence_weights(fast, dependence),
+            rtol=0,
+            atol=1e-12,
+        )
+
+
+class TestPlausibleValuesEquivalent:
+    def test_identical_plausible_sets(self, problem_pair):
+        _, _, fast = problem_pair
+        assert select_plausible_values(fast) == legacy_select_plausible_values(
+            fast
+        )
