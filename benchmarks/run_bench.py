@@ -58,6 +58,21 @@ BENCH_METHODS = METHOD_NAMES
 #: which is exactly what this benchmark tracks).
 SWEEP_METHODS = ("Vote", "AccuSim")
 DETECTION_ROUNDS = 5
+#: Methods streamed in the daily-delta scenario — the converging slice of
+#: the registry (Invest/PooledInvest/AccuSim oscillate below the default
+#: tolerance on these collections, so warm starts cannot shorten them, and
+#: AccuCopy's detection cost is tracked by the copy-detection benchmark).
+STREAM_METHODS = (
+    "Vote", "Hub", "AvgLog", "2-Estimates", "3-Estimates", "Cosine",
+    "TruthFinder", "AccuPr", "PopAccu", "AccuFormat",
+)
+#: Streaming scenario shape: per-day cell churn and number of delta days.
+STREAM_DAYS = 6
+STREAM_CHURN = 0.003
+#: The streaming operating tolerance (both paths): serving selections does
+#: not need the last 1e-5 of trust precision; the bench cross-checks that
+#: cold selections at this tolerance match the exact engine's.
+STREAM_TOLERANCE = 1e-3
 
 
 def _best_of(repeat: int, fn: Callable[[], object]) -> float:
@@ -198,6 +213,106 @@ def bench_domain(domain: str, scale: str, repeat: int) -> Dict[str, object]:
     return report
 
 
+def bench_streaming(domain: str, scale: str) -> Dict[str, object]:
+    """Daily streaming: cold recompile+rerun vs warm delta sessions.
+
+    A low-churn stream (``STREAM_CHURN`` of cells touched per day) is
+    derived from the collection's first snapshot.  The *cold* path is what
+    the seed did for Table 9: recompile the day's ``FusionProblem`` from
+    its claim dicts and run every method to convergence from uniform
+    priors.  The *warm* path feeds the explicit deltas to fusion sessions:
+    one shared delta compilation per day plus warm-started solves.  Both
+    run at ``STREAM_TOLERANCE``; per-day selections of a cold-started
+    session stream are also checked against the cold path's
+    (``selections_equal`` — the delta-compilation equivalence).
+    """
+    from repro.core.delta import SeriesCompiler
+    from repro.datagen import perturbed_claim_stream
+    from repro.fusion.spec import FusionSession
+
+    collection = get_context(scale).collection(domain)
+    base = collection.series.snapshots[0]
+    stream = perturbed_claim_stream(
+        base, STREAM_DAYS, churn=STREAM_CHURN, seed=17
+    )
+
+    def method_for(name):
+        if name == "Vote":
+            return make_method(name)
+        return make_method(name, tolerance=STREAM_TOLERANCE)
+
+    # ---- cold: per-day recompile from the claim dicts + cold solves
+    cold_times, cold_rounds, cold_selections = [], [], []
+    for snapshot in stream.snapshots:
+        _clear_dataset_caches(snapshot)
+        started = time.perf_counter()
+        problem = FusionProblem(snapshot)
+        day_sel, rounds = {}, 0
+        for name in STREAM_METHODS:
+            result = method_for(name).run(problem)
+            day_sel[name] = result.selected
+            rounds += result.rounds
+        cold_times.append(time.perf_counter() - started)
+        cold_rounds.append(rounds)
+        cold_selections.append(day_sel)
+
+    # ---- warm: shared delta compilation + warm-started sessions
+    compiler = SeriesCompiler()
+    sessions = {
+        name: FusionSession(method_for(name), warm_start=True)
+        for name in STREAM_METHODS
+    }
+    started = time.perf_counter()
+    day0 = compiler.ingest(stream.base)
+    problem0 = day0.problem()
+    for name in STREAM_METHODS:
+        sessions[name].step(problem0, day=day0.day)
+    first_day_s = time.perf_counter() - started
+    warm_times, warm_rounds = [], []
+    for delta in stream.deltas:
+        started = time.perf_counter()
+        day = compiler.apply_delta(delta)
+        problem = day.problem()
+        rounds = sum(
+            sessions[name].step(problem, day=day.day).rounds
+            for name in STREAM_METHODS
+        )
+        warm_times.append(time.perf_counter() - started)
+        warm_rounds.append(rounds)
+
+    # ---- equivalence: cold-started sessions == from-scratch per day
+    exact_compiler = SeriesCompiler()
+    exact = {
+        name: FusionSession(method_for(name), warm_start=False)
+        for name in STREAM_METHODS
+    }
+    exact_compiler.ingest(stream.base)
+    selections_equal = True
+    for delta, day_sel in zip(stream.deltas, cold_selections):
+        day = exact_compiler.apply_delta(delta)
+        problem = day.problem()
+        for name in STREAM_METHODS:
+            result = exact[name].step(problem, day=day.day)
+            if result.selected != day_sel[name]:
+                selections_equal = False
+
+    cold_s = float(np.mean(cold_times))
+    warm_s = float(np.mean(warm_times))
+    return {
+        "methods": list(STREAM_METHODS),
+        "delta_days": STREAM_DAYS,
+        "churn": STREAM_CHURN,
+        "tolerance": STREAM_TOLERANCE,
+        "cold_per_day_s": cold_s,
+        "warm_per_day_s": warm_s,
+        "speedup": cold_s / warm_s,
+        "cold_rounds_per_day": float(np.mean(cold_rounds)),
+        "warm_rounds_per_day": float(np.mean(warm_rounds)),
+        "first_day_ingest_s": first_day_s,
+        "selections_equal": selections_equal,
+    }
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--scale", default="small",
@@ -212,13 +327,17 @@ def main(argv: Sequence[str] | None = None) -> int:
     for domain in args.domains:
         print(f"[bench] {domain} @ {args.scale} ...", flush=True)
         domains[domain] = bench_domain(domain, args.scale, args.repeat)
+        domains[domain]["streaming"] = bench_streaming(domain, args.scale)
         sweep = domains[domain]["figure9_sweep"]
         compile_ = domains[domain]["compile"]
+        streaming = domains[domain]["streaming"]
         print(
             f"[bench] {domain}: compile x{compile_['speedup_warm']:.1f} warm"
             f" / x{compile_['speedup_cold']:.1f} cold,"
             f" figure9 x{sweep['speedup']:.1f}"
-            f" (curves equal: {sweep['curves_equal']})",
+            f" (curves equal: {sweep['curves_equal']}),"
+            f" streaming x{streaming['speedup']:.1f}"
+            f" (selections equal: {streaming['selections_equal']})",
             flush=True,
         )
 
@@ -235,6 +354,9 @@ def main(argv: Sequence[str] | None = None) -> int:
             "compile_speedup_warm_min": min(compiles),
             "compile_speedup_cold_min": min(
                 domains[d]["compile"]["speedup_cold"] for d in domains
+            ),
+            "streaming_speedup_min": min(
+                domains[d]["streaming"]["speedup"] for d in domains
             ),
         },
     }

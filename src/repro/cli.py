@@ -4,17 +4,23 @@ Usage::
 
     python -m repro.cli fuse claims.csv --method AccuSim -o result.json
     python -m repro.cli fuse claims.csv --method AccuCopy --gold gold.csv
+    python -m repro.cli stream days/ --method AccuSim --output-dir out/
     python -m repro.cli export-demo stock claims.csv --gold gold.csv
     python -m repro.cli methods
 
 ``export-demo`` writes one of the generated collections to CSV so the
-round-trip can be exercised without private data.
+round-trip can be exercised without private data.  ``stream`` tails a
+directory of daily claim CSVs (one snapshot per file, processed in sorted
+filename order) through warm fusion sessions, emitting each day's
+selections and trust as it lands.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
+from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.evaluation.metrics import evaluate
@@ -27,6 +33,16 @@ from repro.io import (
     write_gold_csv,
     write_result_json,
 )
+
+
+def _method_kwargs(args: argparse.Namespace) -> dict:
+    """Solver flags shared by ``fuse`` and ``stream``."""
+    kwargs = {}
+    if getattr(args, "max_rounds", None) is not None:
+        kwargs["max_rounds"] = args.max_rounds
+    if getattr(args, "tolerance", None) is not None:
+        kwargs["tolerance"] = args.tolerance
+    return kwargs
 
 
 def _cmd_methods(_args: argparse.Namespace) -> int:
@@ -42,7 +58,7 @@ def _cmd_fuse(args: argparse.Namespace) -> int:
         f"({dataset.num_items} items)",
         file=sys.stderr,
     )
-    method = make_method(args.method)
+    method = make_method(args.method, **_method_kwargs(args))
     result = method.run(FusionProblem(dataset))
     print(
         f"{args.method}: {result.rounds} rounds, "
@@ -61,6 +77,75 @@ def _cmd_fuse(args: argparse.Namespace) -> int:
             print(f"{item.object_id}\t{item.attribute}\t{value}")
         if len(result.selected) > 20:
             print(f"... ({len(result.selected)} items; use -o for the full set)")
+    return 0
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from repro.streaming import StreamRunner
+
+    directory = Path(args.directory)
+    if not directory.is_dir():
+        print(f"{directory} is not a directory", file=sys.stderr)
+        return 2
+    methods = args.method or ["AccuSim"]
+    kwargs = _method_kwargs(args)
+    runner = StreamRunner(
+        methods,
+        {name: dict(kwargs) for name in methods} if kwargs else None,
+        warm_start=not args.cold,
+    )
+    output_dir = Path(args.output_dir) if args.output_dir else None
+    if output_dir is not None:
+        output_dir.mkdir(parents=True, exist_ok=True)
+
+    seen = set()
+    idle_polls = 0
+    while True:
+        pending = sorted(
+            p for p in directory.glob("*.csv") if p.name not in seen
+        )
+        if not pending:
+            if not args.follow:
+                break
+            idle_polls += 1
+            if args.max_polls is not None and idle_polls >= args.max_polls:
+                break
+            time.sleep(args.poll_seconds)
+            continue
+        idle_polls = 0
+        for path in pending:
+            if seen and path.name < max(seen):
+                # A late-arriving file sorts before a day already fused;
+                # warm trust and delta state now see days out of order.
+                print(
+                    f"warning: {path.name} arrived after later days were "
+                    "fused; streaming it out of order",
+                    file=sys.stderr,
+                )
+            seen.add(path.name)
+            dataset = read_claims_csv(path)
+            step = runner.push(dataset)
+            stats = step.stats
+            for name, result in step.results.items():
+                print(
+                    f"{step.day} {name}: {len(result.selected)} items, "
+                    f"{result.rounds} rounds, converged={result.converged}, "
+                    f"compile {step.compile_seconds:.3f}s "
+                    f"({'full' if stats.full_compile else 'delta'}, "
+                    f"{stats.n_dirty_items} dirty items), "
+                    f"solve {result.runtime_seconds:.3f}s"
+                )
+                if output_dir is not None:
+                    out = output_dir / f"{step.day}.{name}.json"
+                    write_result_json(result, out)
+                    print(f"wrote {out}", file=sys.stderr)
+    if not runner.steps:
+        print(f"no claim CSVs found in {directory}", file=sys.stderr)
+        return 1
+    print(
+        f"streamed {len(runner.steps)} day(s) x {len(methods)} method(s)",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -93,7 +178,34 @@ def build_parser() -> argparse.ArgumentParser:
     fuse.add_argument("--method", default="AccuSim", choices=METHOD_NAMES)
     fuse.add_argument("--gold", help="optional gold CSV to score against")
     fuse.add_argument("-o", "--output", help="write the result JSON here")
+    fuse.add_argument("--max-rounds", type=int, default=None,
+                      help="cap on fixed-point rounds (method default: 60)")
+    fuse.add_argument("--tolerance", type=float, default=None,
+                      help="L-inf trust convergence threshold (default 1e-5)")
     fuse.set_defaults(func=_cmd_fuse)
+
+    stream = sub.add_parser(
+        "stream",
+        help="tail a directory of daily claim CSVs through fusion sessions",
+    )
+    stream.add_argument("directory", help="directory of per-day claims CSVs")
+    stream.add_argument("--method", action="append", choices=METHOD_NAMES,
+                        help="method(s) to stream (default: AccuSim)")
+    stream.add_argument("--output-dir",
+                        help="write per-day result JSONs (<day>.<method>.json)")
+    stream.add_argument("--cold", action="store_true",
+                        help="cold-start trust every day instead of warm-starting")
+    stream.add_argument("--follow", action="store_true",
+                        help="keep polling the directory for new CSVs")
+    stream.add_argument("--poll-seconds", type=float, default=2.0,
+                        help="polling interval with --follow (default 2s)")
+    stream.add_argument("--max-polls", type=int, default=None,
+                        help="stop --follow after this many idle polls")
+    stream.add_argument("--max-rounds", type=int, default=None,
+                        help="cap on fixed-point rounds (method default: 60)")
+    stream.add_argument("--tolerance", type=float, default=None,
+                        help="L-inf trust convergence threshold (default 1e-5)")
+    stream.set_defaults(func=_cmd_stream)
 
     demo = sub.add_parser("export-demo", help="export a generated collection")
     demo.add_argument("domain", choices=("stock", "flight"))

@@ -8,6 +8,13 @@ from repro.core.attributes import (
     ValueKind,
 )
 from repro.core.dataset import Dataset, DatasetSeries
+from repro.core.delta import (
+    ClaimDelta,
+    DayCompilation,
+    DayStats,
+    SeriesCompiler,
+    splice_compiled,
+)
 from repro.core.gold import (
     GoldStandard,
     accuracy_of_source,
@@ -39,6 +46,11 @@ __all__ = [
     "ValueKind",
     "Dataset",
     "DatasetSeries",
+    "ClaimDelta",
+    "DayCompilation",
+    "DayStats",
+    "SeriesCompiler",
+    "splice_compiled",
     "GoldStandard",
     "accuracy_of_source",
     "build_gold_standard",

@@ -273,6 +273,9 @@ class DatasetSeries:
 
     domain: str
     snapshots: List[Dataset] = field(default_factory=list)
+    _day_index: Optional[Dict[str, int]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def add(self, dataset: Dataset) -> None:
         if dataset.domain != self.domain:
@@ -280,6 +283,7 @@ class DatasetSeries:
                 f"snapshot domain {dataset.domain!r} != series domain {self.domain!r}"
             )
         self.snapshots.append(dataset)
+        self._day_index = None  # rebuilt lazily on next lookup
 
     @property
     def days(self) -> List[str]:
@@ -295,7 +299,16 @@ class DatasetSeries:
         return self.snapshots[index]
 
     def snapshot(self, day: str) -> Dataset:
-        for candidate in self.snapshots:
-            if candidate.day == day:
-                return candidate
-        raise SchemaError(f"no snapshot for day {day!r}")
+        """The snapshot of one day (first match, O(1) via a lazy index)."""
+        if self._day_index is None:
+            index: Dict[str, int] = {}
+            for position, candidate in enumerate(self.snapshots):
+                index.setdefault(candidate.day, position)
+            self._day_index = index
+        position = self._day_index.get(day)
+        if position is None:
+            available = ", ".join(self.days) or "(series is empty)"
+            raise SchemaError(
+                f"no snapshot for day {day!r}; available days: {available}"
+            )
+        return self.snapshots[position]

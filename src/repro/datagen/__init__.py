@@ -18,6 +18,7 @@ from repro.datagen.generator import (
     rng_for,
 )
 from repro.datagen.profiles import SourceProfile
+from repro.datagen.streams import ClaimStream, perturbed_claim_stream
 from repro.datagen.stock import (
     STOCK_ATTRIBUTES,
     STOCK_DAY_LABELS,
@@ -30,6 +31,8 @@ from repro.datagen.stock import (
 from repro.datagen.worlds import World
 
 __all__ = [
+    "ClaimStream",
+    "perturbed_claim_stream",
     "FLIGHT_ATTRIBUTES",
     "FLIGHT_DAY_LABELS",
     "FLIGHT_REPORT_DAY",

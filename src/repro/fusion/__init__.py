@@ -21,6 +21,7 @@ from repro.fusion.copy_aware import AccuCopy
 from repro.fusion.ensemble import ensemble_vote, precision_weighted_ensemble
 from repro.fusion.extensions import AccuCategory, select_plausible_values
 from repro.fusion.seeding import consistent_item_seed, seed_coverage
+from repro.fusion.spec import FusionSession, MethodSpec
 from repro.fusion.ir import Cosine, ThreeEstimates, TwoEstimates
 from repro.fusion.registry import (
     ITERATIVE_METHOD_NAMES,
@@ -47,6 +48,8 @@ __all__ = [
     "FusionMethod",
     "FusionProblem",
     "FusionResult",
+    "FusionSession",
+    "MethodSpec",
     "AccuFormat",
     "AccuFormatAttr",
     "AccuPr",

@@ -22,7 +22,6 @@ Table 7), and result packaging.  Concrete methods override
 from __future__ import annotations
 
 import abc
-import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -87,6 +86,37 @@ class FusionProblem:
             dataset=dataset,
         )
 
+    @classmethod
+    def from_compiled(
+        cls,
+        view: ColumnarView,
+        compiled: CompiledClusters,
+        sources: List[str],
+        source_codes: np.ndarray,
+        attr_tol: np.ndarray,
+        claim_mask: Optional[np.ndarray] = None,
+        dataset: Optional[Dataset] = None,
+    ) -> "FusionProblem":
+        """Wrap an already-compiled day (delta compilation) as a problem.
+
+        ``sources`` is the day's declared source universe — it may include
+        sources with no surviving claims (their trust still participates in
+        normalizations) and must cover every source appearing in
+        ``compiled``.  This is how :class:`repro.core.delta.SeriesCompiler`
+        days become problems without re-running any kernel.
+        """
+        problem = cls.__new__(cls)
+        problem._init_from(
+            view=view,
+            compiled=compiled,
+            sources=list(sources),
+            source_codes=np.asarray(source_codes, dtype=np.int64),
+            attr_tol=attr_tol,
+            claim_mask=claim_mask,
+            dataset=dataset,
+        )
+        return problem
+
     def _init_from(
         self,
         *,
@@ -150,6 +180,7 @@ class FusionProblem:
         self._sim: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
         self._fmt: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
         self._copy: Optional[CopyStructures] = None
+        self._copy_seed: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     @property
     def cluster_rep(self) -> List[Value]:
@@ -358,16 +389,31 @@ class FusionProblem:
                 (ones, (self.claim_source, self.claim_cluster)),
                 shape=(self.n_sources, self.n_clusters),
             )
-            incidence = sp.csr_matrix(
-                (ones, (self.claim_source, self.claim_item)),
-                shape=(self.n_sources, self.n_items),
-            )
+            seed = getattr(self, "_copy_seed", None)  # legacy problems skip _init_from
+            if seed is not None:
+                same, shared = seed
+            else:
+                incidence = sp.csr_matrix(
+                    (ones, (self.claim_source, self.claim_item)),
+                    shape=(self.n_sources, self.n_items),
+                )
+                same = (membership @ membership.T).toarray()
+                shared = (incidence @ incidence.T).toarray()
             self._copy = CopyStructures(
-                membership=membership,
-                same=(membership @ membership.T).toarray(),
-                shared=(incidence @ incidence.T).toarray(),
+                membership=membership, same=same, shared=shared
             )
         return self._copy
+
+    def seed_copy_counts(self, same: np.ndarray, shared: np.ndarray) -> None:
+        """Provide incrementally-maintained pairwise overlap counts.
+
+        A :class:`repro.core.delta.SeriesCompiler` patches the ``same`` /
+        ``shared`` matrices day over day instead of recomputing the sparse
+        products; only the (cheap) membership CSR is rebuilt when copy
+        detection first runs on this problem.
+        """
+        self._copy_seed = (same, shared)
+        self._copy = None
 
 
 @dataclass(frozen=True)
@@ -405,6 +451,9 @@ class FusionMethod(abc.ABC):
     initial_trust: float = 0.8
     #: Whether trust is maintained per (source, attribute) pair.
     per_attribute_trust: bool = False
+    #: Whether the method runs copy detection (sessions then ask the
+    #: series compiler to maintain the pairwise overlap counts).
+    uses_copy_detection: bool = False
 
     def __init__(self, max_rounds: int = DEFAULT_MAX_ROUNDS,
                  tolerance: float = DEFAULT_TOLERANCE):
@@ -433,28 +482,15 @@ class FusionMethod(abc.ABC):
             Do not update trust: compute votes once from the seed and select
             (the paper's "no need for iteration" mode).
         """
+        # The solver loop lives in FusionSession (fusion/spec.py); a one-shot
+        # run is a cold session stepped once onto the compiled snapshot.
+        from repro.fusion.spec import FusionSession
+
         problem = data if isinstance(data, FusionProblem) else FusionProblem(data)
-        started = time.perf_counter()
-        state = self._initial_state(problem, trust_seed)
-        rounds = 0
-        converged = False
-        selected = None
-        for rounds in range(1, self.max_rounds + 1):
-            scores = self._votes(problem, state)
-            selected = problem.argmax_per_item(scores)
-            if freeze_trust:
-                converged = True
-                break
-            new_trust = self._update_trust(problem, state, scores, selected)
-            delta = float(np.max(np.abs(new_trust - state["trust"]))) if new_trust.size else 0.0
-            state["trust"] = new_trust
-            if delta < self.tolerance:
-                converged = True
-                break
-        if selected is None:  # pragma: no cover - max_rounds >= 1 always
-            raise FusionError("fusion produced no selection")
-        runtime = time.perf_counter() - started
-        return self._package(problem, state, selected, rounds, converged, runtime)
+        session = FusionSession(self, warm_start=False)
+        return session.step(
+            problem, trust_seed=trust_seed, freeze_trust=freeze_trust
+        )
 
     # ------------------------------------------------------------ state mgmt
     def _initial_state(

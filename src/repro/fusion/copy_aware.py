@@ -40,6 +40,7 @@ class AccuCopy(AccuFormat):
 
     name = "AccuCopy"
     per_attribute_trust = False
+    uses_copy_detection = True
 
     def __init__(
         self,
@@ -59,11 +60,12 @@ class AccuCopy(AccuFormat):
         #: Dong et al. behaviour, which false-positives on honest sources —
         #: the paper's Stock failure mode; see the copy-detection ablation).
         self.agreement_gate = agreement_gate
-        self._round = 0
 
     def _initial_state(self, problem: FusionProblem, trust_seed):
         state = super()._initial_state(problem, trust_seed)
-        self._round = 0
+        # The round counter lives in the state dict (not on the method) so
+        # the instance stays a stateless spec shareable across sessions.
+        state["round"] = 0
         if self.known_groups is not None:
             dependence = known_groups_matrix(problem, self.known_groups)
             state["independence"] = independence_weights(
@@ -93,8 +95,8 @@ class AccuCopy(AccuFormat):
 
     def _update_trust(self, problem, state, scores, selected) -> np.ndarray:
         new_trust = super()._update_trust(problem, state, scores, selected)
-        self._round += 1
-        if self.known_groups is None and self._round % self.detection_interval == 0:
+        state["round"] = int(state.get("round", 0)) + 1
+        if self.known_groups is None and state["round"] % self.detection_interval == 0:
             kwargs = {}
             if self.agreement_gate is not None:
                 kwargs["agreement_gate"] = self.agreement_gate

@@ -20,8 +20,11 @@ class Vote(FusionMethod):
     name = "Vote"
     initial_trust = 1.0
 
-    def __init__(self):
-        super().__init__(max_rounds=1)
+    def __init__(self, max_rounds: int = 1, **kwargs):
+        # max_rounds/tolerance are accepted (the CLI passes solver flags to
+        # every method uniformly); extra rounds are harmless no-ops since
+        # the trust never moves.
+        super().__init__(max_rounds=max_rounds, **kwargs)
 
     def _votes(self, problem: FusionProblem, state: Dict[str, np.ndarray]) -> np.ndarray:
         return problem.cluster_support.astype(np.float64)

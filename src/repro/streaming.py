@@ -1,0 +1,110 @@
+"""Multi-method streaming over daily snapshots or claim deltas.
+
+One :class:`StreamRunner` owns a single :class:`~repro.core.delta.SeriesCompiler`
+and one :class:`~repro.fusion.spec.FusionSession` per method, so each day is
+diff-compiled **once** and every method solves on the shared problem — the
+streaming analogue of the one-`FusionProblem`-many-methods pattern the
+experiment tables use.  Copy-structure tracking is switched on automatically
+when any requested method runs copy detection.
+
+Feed it full snapshots (:meth:`StreamRunner.push`) or explicit
+:class:`~repro.core.delta.ClaimDelta` change sets (:meth:`StreamRunner.push_delta`);
+either way each step returns the per-method :class:`FusionResult` plus the
+day's compilation statistics.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.dataset import Dataset
+from repro.core.delta import ClaimDelta, DayCompilation, DayStats, SeriesCompiler
+from repro.fusion.base import FusionResult
+from repro.fusion.registry import make_method
+from repro.fusion.spec import FusionSession
+
+
+@dataclass
+class StreamStep:
+    """One day's outcome across every method of the stream."""
+
+    day: str
+    results: Dict[str, FusionResult]
+    stats: DayStats
+    compile_seconds: float
+    solve_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.compile_seconds + sum(self.solve_seconds.values())
+
+
+class StreamRunner:
+    """Sessions for several methods advancing over one shared compiler."""
+
+    def __init__(
+        self,
+        method_names: Sequence[str],
+        method_kwargs: Optional[Dict[str, dict]] = None,
+        *,
+        warm_start: bool = True,
+        compiler: Optional[SeriesCompiler] = None,
+    ):
+        self.method_names = list(method_names)
+        self.sessions: Dict[str, FusionSession] = {}
+        for name in self.method_names:
+            kwargs = (method_kwargs or {}).get(name, {})
+            self.sessions[name] = FusionSession(
+                make_method(name, **kwargs), warm_start=warm_start
+            )
+        if compiler is None:
+            # The session spec is the single source of truth for whether a
+            # method runs copy detection (the registry's `copying` column is
+            # Table 6 rendering data).
+            compiler = SeriesCompiler(
+                track_copy_structures=any(
+                    session.spec.uses_copy_detection
+                    for session in self.sessions.values()
+                )
+            )
+        self.compiler = compiler
+        self.steps: List[StreamStep] = []
+
+    # ---------------------------------------------------------------- stepping
+    def push(self, dataset: Dataset) -> StreamStep:
+        """Ingest a full daily snapshot and advance every session."""
+        started = time.perf_counter()
+        day = self.compiler.ingest(dataset)
+        return self._step(day, started)
+
+    def push_delta(self, delta: ClaimDelta) -> StreamStep:
+        """Apply an explicit claim delta and advance every session."""
+        started = time.perf_counter()
+        day = self.compiler.apply_delta(delta)
+        return self._step(day, started)
+
+    def _step(self, day: DayCompilation, started: float) -> StreamStep:
+        problem = day.problem()
+        compile_seconds = time.perf_counter() - started
+        results: Dict[str, FusionResult] = {}
+        solve_seconds: Dict[str, float] = {}
+        for name in self.method_names:
+            result = self.sessions[name].step(problem, day=day.day)
+            result.extras["compile"] = day.stats
+            results[name] = result
+            solve_seconds[name] = result.runtime_seconds
+        step = StreamStep(
+            day=day.day,
+            results=results,
+            stats=day.stats,
+            compile_seconds=compile_seconds,
+            solve_seconds=solve_seconds,
+        )
+        self.steps.append(step)
+        return step
+
+    @property
+    def days(self) -> List[str]:
+        return [step.day for step in self.steps]

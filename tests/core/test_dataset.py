@@ -129,3 +129,32 @@ class TestDatasetSeries:
         assert series.snapshot("2011-07-07") is ds
         with pytest.raises(SchemaError):
             series.snapshot("2011-07-08")
+
+    def test_snapshot_error_lists_available_days(self):
+        series = DatasetSeries(domain="test")
+        for day in ("d1", "d2"):
+            series.add(build_dataset({("s1", "o1", "price"): 1.0}, day=day))
+        with pytest.raises(SchemaError, match="available days: d1, d2"):
+            series.snapshot("d9")
+
+    def test_snapshot_index_survives_later_adds(self):
+        series = DatasetSeries(domain="test")
+        first = build_dataset({("s1", "o1", "price"): 1.0}, day="d1")
+        series.add(first)
+        assert series.snapshot("d1") is first  # index built here
+        second = build_dataset({("s1", "o1", "price"): 2.0}, day="d2")
+        series.add(second)
+        assert series.snapshot("d2") is second
+        assert series.snapshot("d1") is first
+
+    def test_duplicate_day_returns_first_match(self):
+        series = DatasetSeries(domain="test")
+        first = build_dataset({("s1", "o1", "price"): 1.0}, day="dup")
+        second = build_dataset({("s1", "o1", "price"): 2.0}, day="dup")
+        series.add(first)
+        series.add(second)
+        assert series.snapshot("dup") is first  # legacy linear-scan behaviour
+
+    def test_empty_series_error(self):
+        with pytest.raises(SchemaError, match="series is empty"):
+            DatasetSeries(domain="test").snapshot("d1")

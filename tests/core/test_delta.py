@@ -1,0 +1,217 @@
+"""Delta compilation: the SeriesCompiler against from-scratch compiles."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import Dataset
+from repro.core.delta import ClaimDelta, SeriesCompiler, splice_compiled
+from repro.core.records import Claim, DataItem, SourceMeta
+from repro.errors import SchemaError
+from repro.fusion.base import FusionProblem
+from repro.fusion.registry import make_method
+
+from tests.helpers import build_dataset
+
+METHODS = ("Vote", "AccuSim", "2-Estimates", "TruthFinder")
+
+
+def assert_problems_equivalent(day, snapshot, methods=METHODS):
+    """Delta-compiled problem == cold FusionProblem on every observable."""
+    p_new = day.problem()
+    p_old = FusionProblem(snapshot)
+    assert p_new.n_claims == p_old.n_claims
+    assert p_new.n_clusters == p_old.n_clusters
+    assert p_new.n_items == p_old.n_items
+    assert sorted(p_new.sources) == sorted(p_old.sources)
+    tol_new = dict(zip(p_new.attributes, p_new._attr_tol.tolist()))
+    tol_old = dict(zip(p_old.attributes, p_old._attr_tol.tolist()))
+    assert tol_new == tol_old
+    for name in methods:
+        r_new = make_method(name).run(p_new)
+        r_old = make_method(name).run(p_old)
+        assert r_new.selected == r_old.selected, (day.day, name)
+        for source_id, trust in r_old.trust.items():
+            assert r_new.trust[source_id] == pytest.approx(trust, abs=1e-12)
+
+
+def materialize(base, sources, claims, day):
+    dataset = Dataset(domain=base.domain, day=day, attributes=base.attributes)
+    for meta in sources:
+        dataset.add_source(meta)
+    for (source_id, item), claim in claims.items():
+        dataset.add_claim(source_id, item, claim)
+    return dataset.freeze()
+
+
+class TestIngestEquivalence:
+    @pytest.mark.parametrize("threshold", [0.5, 2.0])
+    def test_generated_series_all_days(self, flight_collection, threshold):
+        """Every day of a generated series fuses identically to cold compiles.
+
+        ``threshold=2.0`` forces the splice path even on the high-churn
+        generated data; ``0.5`` exercises the full-compile fallback.
+        """
+        compiler = SeriesCompiler(full_compile_threshold=threshold)
+        saw_splice = False
+        for snapshot in flight_collection.series:
+            day = compiler.ingest(snapshot)
+            saw_splice |= not day.stats.full_compile
+            assert_problems_equivalent(day, snapshot)
+        if threshold > 1.0:
+            assert saw_splice
+
+    def test_compaction_preserves_equivalence(self, flight_collection):
+        compiler = SeriesCompiler(max_inactive_ratio=0.1)
+        compacted = False
+        for snapshot in flight_collection.series:
+            day = compiler.ingest(snapshot)
+            compacted |= day.stats.compacted
+            assert_problems_equivalent(day, snapshot, methods=("Vote",))
+        assert compacted
+
+    def test_rejects_mismatched_schema(self, flight_collection, stock_collection):
+        compiler = SeriesCompiler()
+        compiler.ingest(flight_collection.series[0])
+        with pytest.raises(SchemaError):
+            compiler.ingest(stock_collection.series[0])
+
+    def test_stats_track_churn(self, flight_collection):
+        compiler = SeriesCompiler()
+        first = compiler.ingest(flight_collection.series[0])
+        assert first.stats.full_compile
+        assert first.stats.n_added_claims == first.stats.n_active_claims
+        assert first.stats.n_removed_claims == 0
+        second = compiler.ingest(flight_collection.series[1])
+        assert second.stats.n_added_claims > 0
+        assert second.stats.n_removed_claims > 0
+
+
+class TestApplyDelta:
+    def _seeded(self):
+        base = build_dataset({
+            ("s1", "o1", "price"): 10.0,
+            ("s2", "o1", "price"): 10.0,
+            ("s3", "o1", "price"): 12.0,
+            ("s1", "o2", "price"): 5.0,
+            ("s2", "o2", "price"): 6.0,
+            ("s1", "o1", "gate"): "A1",
+            ("s2", "o1", "gate"): "A2",
+        })
+        compiler = SeriesCompiler()
+        compiler.ingest(base)
+        claims = {}
+        for item, source_id, claim in base.iter_claims():
+            claims[(source_id, item)] = claim
+        return base, compiler, claims, list(base.sources.values())
+
+    def test_value_change_retraction_and_new_source(self):
+        base, compiler, claims, metas = self._seeded()
+        new_meta = SourceMeta("s9")
+        changes = [
+            ("s3", DataItem("o1", "price"), Claim(value=10.5)),
+            ("s9", DataItem("o2", "price"), Claim(value=5.0)),
+            ("s9", DataItem("o3", "price"), Claim(value=7.0)),  # new item
+        ]
+        delta = ClaimDelta(
+            day="d1",
+            added=tuple(changes),
+            retracted=(("s2", DataItem("o1", "gate")),),
+            new_sources=(new_meta,),
+        )
+        day = compiler.apply_delta(delta)
+        for source_id, item, claim in changes:
+            claims[(source_id, item)] = claim
+        del claims[("s2", DataItem("o1", "gate"))]
+        reference = materialize(base, metas + [new_meta], claims, "d1")
+        assert_problems_equivalent(day, reference)
+        assert day.stats.n_removed_claims >= 2  # replaced value + retraction
+
+    def test_incremental_days_match_full_rebuilds(self, flight_collection):
+        """A multi-day random delta stream stays equivalent throughout."""
+        from repro.datagen import perturbed_claim_stream
+
+        base = flight_collection.series[0]
+        stream = perturbed_claim_stream(base, n_days=3, churn=0.02, seed=3)
+        compiler = SeriesCompiler()
+        compiler.ingest(base)
+        saw_splice = False
+        for delta, snapshot in zip(stream.deltas, stream.snapshots):
+            day = compiler.apply_delta(delta)
+            saw_splice |= not day.stats.full_compile
+            assert_problems_equivalent(day, snapshot)
+        assert saw_splice  # low churn must take the splice path
+
+    def test_requires_prior_ingest(self):
+        from repro.errors import FusionError
+
+        with pytest.raises(FusionError):
+            SeriesCompiler().apply_delta(ClaimDelta(day="d1"))
+
+    def test_rejects_two_adds_in_one_cell(self):
+        _base, compiler, _claims, _metas = self._seeded()
+        delta = ClaimDelta(
+            day="d1",
+            added=(
+                ("s1", DataItem("o1", "price"), Claim(value=1.0)),
+                ("s1", DataItem("o1", "price"), Claim(value=2.0)),
+            ),
+        )
+        with pytest.raises(SchemaError, match="one .source, item. cell"):
+            compiler.apply_delta(delta)
+
+    def test_rejects_undeclared_source(self):
+        _base, compiler, _claims, _metas = self._seeded()
+        delta = ClaimDelta(
+            day="d1",
+            added=(("ghost", DataItem("o1", "price"), Claim(value=1.0)),),
+        )
+        with pytest.raises(SchemaError):
+            compiler.apply_delta(delta)
+
+
+class TestCopyCountTracking:
+    def test_pair_counts_match_from_scratch(self, flight_collection):
+        """Incrementally patched same/shared == freshly computed products."""
+        compiler = SeriesCompiler(
+            track_copy_structures=True, full_compile_threshold=2.0
+        )
+        for snapshot in flight_collection.series:
+            day = compiler.ingest(snapshot)
+            problem = day.problem()
+            seeded = problem.copy_structures
+            scratch = FusionProblem.from_compiled(
+                view=day.view,
+                compiled=day.compiled,
+                sources=day.sources,
+                source_codes=day.source_codes,
+                attr_tol=day.attr_tol,
+                claim_mask=day.claim_mask,
+            )
+            fresh = scratch.copy_structures
+            assert np.array_equal(seeded.same, fresh.same)
+            assert np.array_equal(seeded.shared, fresh.shared)
+
+
+class TestSpliceKernel:
+    def test_splice_with_no_dirty_items_is_identity(self, flight_snapshot):
+        from repro.core.columnar import CompiledClusters
+
+        compiler = SeriesCompiler()
+        day = compiler.ingest(flight_snapshot)
+        empty = CompiledClusters(
+            item_index=np.zeros(0, dtype=np.int64),
+            item_attr=np.zeros(0, dtype=np.int64),
+            item_start=np.zeros(1, dtype=np.int64),
+            cluster_item=np.zeros(0, dtype=np.int64),
+            cluster_value=np.zeros(0, dtype=np.int64),
+            cluster_support=np.zeros(0, dtype=np.int64),
+            claim_source=np.zeros(0, dtype=np.int64),
+            claim_cluster=np.zeros(0, dtype=np.int64),
+            claim_value=np.zeros(0, dtype=np.int64),
+            claim_granularity=np.zeros(0, dtype=np.float64),
+        )
+        dirty = np.zeros(len(day.view.items), dtype=bool)
+        spliced = splice_compiled(day.compiled, empty, dirty)
+        assert np.array_equal(spliced.item_index, day.compiled.item_index)
+        assert np.array_equal(spliced.claim_cluster, day.compiled.claim_cluster)
+        assert np.array_equal(spliced.cluster_value, day.compiled.cluster_value)

@@ -19,6 +19,15 @@ class TestPrecisionSeries:
         assert series.average == 0.0
         assert series.deviation == 0.0
 
+    def test_empty_series_minimum(self):
+        assert PrecisionSeries(method="m", days=[], precisions=[]).minimum == 0.0
+
+    def test_single_day_deviation_is_zero(self):
+        series = PrecisionSeries(method="m", days=["d0"], precisions=[0.7])
+        assert series.average == pytest.approx(0.7)
+        assert series.minimum == pytest.approx(0.7)
+        assert series.deviation == 0.0
+
 
 class TestPrecisionOverTime:
     def test_runs_on_generated_series(self, flight_collection):
@@ -41,3 +50,49 @@ class TestPrecisionOverTime:
             days=wanted,
         )
         assert result["Vote"].days == wanted
+
+    def test_day_filter_unknown_day_yields_empty(self, flight_collection):
+        result = precision_over_time(
+            flight_collection.series,
+            flight_collection.gold_by_day,
+            ["Vote"],
+            days=["not-a-day"],
+        )
+        assert result["Vote"].days == []
+        assert result["Vote"].precisions == []
+
+    def test_session_engine_equals_cold_engine(self, flight_collection):
+        """The streamed Table 9 reproduces the from-scratch numbers exactly."""
+        names = ["Vote", "AccuPr", "AccuSimAttr", "AccuCopy"]
+        streamed = precision_over_time(
+            flight_collection.series, flight_collection.gold_by_day, names,
+        )
+        cold = precision_over_time(
+            flight_collection.series, flight_collection.gold_by_day, names,
+            engine="cold",
+        )
+        for name in names:
+            assert streamed[name].days == cold[name].days
+            assert streamed[name].precisions == cold[name].precisions
+
+    def test_warm_start_produces_sane_series(self, flight_collection):
+        result = precision_over_time(
+            flight_collection.series,
+            flight_collection.gold_by_day,
+            ["AccuPr"],
+            warm_start=True,
+        )
+        series = result["AccuPr"]
+        assert len(series.precisions) == len(flight_collection.series)
+        assert all(0.0 <= p <= 1.0 for p in series.precisions)
+
+    def test_rejects_unknown_engine(self, flight_collection):
+        from repro.errors import FusionError
+
+        with pytest.raises(FusionError):
+            precision_over_time(
+                flight_collection.series,
+                flight_collection.gold_by_day,
+                ["Vote"],
+                engine="quantum",
+            )

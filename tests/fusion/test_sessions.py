@@ -1,0 +1,182 @@
+"""Spec + session split: MethodSpec, FusionSession, streaming equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.core.delta import ClaimDelta, SeriesCompiler
+from repro.core.records import Claim, DataItem
+from repro.fusion.base import FusionProblem
+from repro.fusion.registry import METHOD_NAMES, make_method
+from repro.fusion.spec import FusionSession, MethodSpec
+
+from tests.helpers import build_dataset
+
+
+class TestMethodSpec:
+    def test_spec_exposes_parameters(self):
+        spec = MethodSpec.of(make_method("AccuSimAttr", max_rounds=7))
+        assert spec.name == "AccuSimAttr"
+        assert spec.per_attribute_trust
+        assert spec.max_rounds == 7
+        assert not spec.uses_copy_detection
+
+    def test_accucopy_spec_requests_copy_tracking(self):
+        assert MethodSpec.of(make_method("AccuCopy")).uses_copy_detection
+
+    def test_of_is_idempotent(self):
+        spec = MethodSpec.of(make_method("Vote"))
+        assert MethodSpec.of(spec) is spec
+
+    def test_methods_are_stateless_across_runs(self, flight_problem):
+        """One instance run twice gives identical results (no hidden state)."""
+        method = make_method("AccuCopy")
+        first = method.run(flight_problem)
+        second = method.run(flight_problem)
+        assert first.selected == second.selected
+        assert first.trust == second.trust
+        assert first.rounds == second.rounds
+
+
+class TestRunEqualsColdSession:
+    @pytest.mark.parametrize("name", ["Vote", "AccuSim", "3-Estimates"])
+    def test_one_shot_run_is_a_cold_session_step(self, flight_problem, name):
+        run_result = make_method(name).run(flight_problem)
+        session_result = FusionSession(
+            make_method(name), warm_start=False
+        ).step(flight_problem)
+        assert run_result.selected == session_result.selected
+        assert run_result.trust == session_result.trust
+        assert run_result.rounds == session_result.rounds
+
+
+class TestColdSessionsMatchFromScratch:
+    def test_every_method_every_day(self, flight_collection):
+        """The acceptance bar: session-streamed days == cold compiles,
+        for all registered methods, on a generated DatasetSeries."""
+        compiler = SeriesCompiler(track_copy_structures=True)
+        sessions = {
+            name: FusionSession(make_method(name), warm_start=False)
+            for name in METHOD_NAMES
+        }
+        for snapshot in flight_collection.series:
+            day = compiler.ingest(snapshot)
+            problem = day.problem()
+            cold_problem = FusionProblem(snapshot)
+            for name in METHOD_NAMES:
+                streamed = sessions[name].step(problem, day=day.day)
+                cold = make_method(name).run(cold_problem)
+                assert streamed.selected == cold.selected, (snapshot.day, name)
+                assert streamed.rounds == cold.rounds
+                for source_id, trust in cold.trust.items():
+                    assert streamed.trust[source_id] == pytest.approx(
+                        trust, abs=1e-12
+                    )
+
+
+class TestWarmSessions:
+    def test_warm_start_carries_trust(self):
+        base = build_dataset({
+            ("good", "o1", "price"): 10.0,
+            ("good", "o2", "price"): 20.0,
+            ("bad", "o1", "price"): 99.0,
+            ("bad", "o2", "price"): 77.0,
+            ("other", "o1", "price"): 10.0,
+            ("other", "o2", "price"): 20.0,
+        })
+        session = FusionSession(make_method("AccuPr"), warm_start=True)
+        first = session.advance(base)
+        assert not first.extras["warm_started"]
+        delta = ClaimDelta(
+            day="d1",
+            added=(("bad", DataItem("o1", "price"), Claim(value=98.0)),),
+        )
+        second = session.update(delta)
+        assert second.extras["warm_started"]
+        assert second.extras["day"] == "d1"
+        # The unreliable source stayed unreliable across the stream.
+        assert second.trust["bad"] < second.trust["good"]
+        assert session.days == [base.day, "d1"]
+
+    def test_warm_start_converges_in_fewer_rounds(self, flight_collection):
+        from repro.datagen import perturbed_claim_stream
+
+        base = flight_collection.series[0]
+        stream = perturbed_claim_stream(base, n_days=2, churn=0.005, seed=5)
+        warm = FusionSession(make_method("AccuPr"), warm_start=True)
+        warm.advance(base)
+        cold_rounds = make_method("AccuPr").run(
+            FusionProblem(stream.snapshots[-1])
+        ).rounds
+        for delta in stream.deltas:
+            result = warm.update(delta)
+        assert result.rounds <= cold_rounds
+
+    def test_new_source_mid_stream_gets_initial_trust(self):
+        from repro.core.records import SourceMeta
+
+        base = build_dataset({
+            ("s1", "o1", "price"): 10.0,
+            ("s2", "o1", "price"): 10.0,
+        })
+        session = FusionSession(make_method("AccuPr"), warm_start=True)
+        session.advance(base)
+        delta = ClaimDelta(
+            day="d1",
+            added=(("late", DataItem("o1", "price"), Claim(value=10.0)),),
+            new_sources=(SourceMeta("late"),),
+        )
+        result = session.update(delta)
+        assert "late" in result.trust
+
+    def test_nonstandard_trust_shape_rebases(self, flight_collection):
+        """Methods with (sources, categories) trust warm-start too."""
+        from repro.fusion.extensions import AccuCategory
+
+        session = FusionSession(AccuCategory(), warm_start=True)
+        for snapshot in flight_collection.series:
+            result = session.advance(snapshot)
+        assert result.extras["warm_started"]
+        assert result.selected
+
+    def test_per_attribute_trust_rebases(self, flight_collection):
+        session = FusionSession(make_method("AccuSimAttr"), warm_start=True)
+        for snapshot in flight_collection.series:
+            result = session.advance(snapshot)
+        assert result.attr_trust is not None
+
+    def test_accucopy_streams_with_tracked_counts(self, flight_collection):
+        session = FusionSession(make_method("AccuCopy"), warm_start=True)
+        for snapshot in flight_collection.series:
+            result = session.advance(snapshot)
+        assert session.compiler.track_copy_structures
+        assert result.converged or result.rounds > 0
+
+
+class TestStreamRunner:
+    def test_shared_compiler_and_results(self, flight_collection):
+        from repro.streaming import StreamRunner
+
+        runner = StreamRunner(["Vote", "AccuPr"], warm_start=True)
+        for snapshot in flight_collection.series:
+            step = runner.push(snapshot)
+            assert set(step.results) == {"Vote", "AccuPr"}
+            assert step.total_seconds >= step.compile_seconds
+        assert runner.days == flight_collection.series.days
+
+    def test_push_delta(self):
+        from repro.streaming import StreamRunner
+
+        base = build_dataset({
+            ("s1", "o1", "price"): 10.0,
+            ("s2", "o1", "price"): 11.0,
+        })
+        runner = StreamRunner(["Vote"])
+        runner.push(base)
+        step = runner.push_delta(
+            ClaimDelta(
+                day="d1",
+                added=(("s2", DataItem("o1", "price"), Claim(value=10.0)),),
+            )
+        )
+        selected = step.results["Vote"].selected
+        assert selected[DataItem("o1", "price")] == 10.0

@@ -55,6 +55,74 @@ class TestFuseCommand:
         assert "precision=1.0000" in out
 
 
+class TestFuseSolverFlags:
+    def test_max_rounds_caps_iteration(self, claims_csv, tmp_path):
+        output = tmp_path / "result.json"
+        assert main([
+            "fuse", str(claims_csv), "--method", "AccuPr",
+            "--max-rounds", "1", "-o", str(output),
+        ]) == 0
+        payload = json.loads(output.read_text())
+        assert payload["rounds"] == 1
+        assert payload["converged"] is False
+
+    def test_tolerance_is_wired_through(self, claims_csv, tmp_path):
+        strict = tmp_path / "strict.json"
+        loose = tmp_path / "loose.json"
+        for path, tolerance in ((strict, "1e-12"), (loose, "0.5")):
+            assert main([
+                "fuse", str(claims_csv), "--method", "AccuPr",
+                "--tolerance", tolerance, "-o", str(path),
+            ]) == 0
+        assert (
+            json.loads(loose.read_text())["rounds"]
+            <= json.loads(strict.read_text())["rounds"]
+        )
+
+
+class TestStreamCommand:
+    @pytest.fixture()
+    def stream_dir(self, tmp_path):
+        directory = tmp_path / "days"
+        directory.mkdir()
+        for day, third in (("d1", 77.0), ("d2", 10.0)):
+            ds = build_dataset({
+                ("s1", "o1", "price"): 10.0,
+                ("s2", "o1", "price"): 10.0,
+                ("s3", "o1", "price"): third,
+            }, day=day)
+            write_claims_csv(ds, directory / f"{day}.csv")
+        return directory
+
+    def test_streams_days_in_order(self, stream_dir, tmp_path, capsys):
+        out_dir = tmp_path / "out"
+        assert main([
+            "stream", str(stream_dir), "--method", "Vote",
+            "--output-dir", str(out_dir),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "d1 Vote:" in out and "d2 Vote:" in out
+        payload = json.loads((out_dir / "d2.Vote.json").read_text())
+        assert payload["method"] == "Vote"
+        assert payload["trust"]
+
+    def test_multiple_methods_and_cold_mode(self, stream_dir, capsys):
+        assert main([
+            "stream", str(stream_dir), "--method", "Vote",
+            "--method", "AccuPr", "--cold", "--max-rounds", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "AccuPr" in out and "Vote" in out
+
+    def test_empty_directory_fails(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["stream", str(empty)]) == 1
+
+    def test_missing_directory_fails(self, tmp_path):
+        assert main(["stream", str(tmp_path / "nope")]) == 2
+
+
 class TestExportDemo:
     def test_round_trip_through_cli(self, tmp_path, capsys):
         claims = tmp_path / "demo.csv"
