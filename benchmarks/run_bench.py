@@ -10,7 +10,10 @@ Times the four rebuilt layers on both generated domains —
 * **copy detection** — ``detect_copying`` + ``independence_weights`` rounds
   with cached sparse structures vs per-round CSR rebuilds;
 * **figure9 sweep** — the end-to-end source-prefix sweep through
-  ``restrict_sources`` vs per-prefix dataset copies + legacy compiles —
+  ``restrict_sources`` vs per-prefix dataset copies + legacy compiles;
+* **parallel** (``--workers N``, N > 1) — the Figure 9 sweep and the
+  16-method comparison through the batched restriction solver and the
+  shared-memory solve scheduler, vs the serial vectorized path —
 
 and writes the measurements to ``BENCH_fusion.json`` so the perf trajectory
 accumulates across PRs.  The sweep also cross-checks that both paths produce
@@ -28,6 +31,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
@@ -313,6 +317,86 @@ def bench_streaming(domain: str, scale: str) -> Dict[str, object]:
     }
 
 
+def bench_parallel(domain: str, scale: str, workers: int) -> Dict[str, object]:
+    """Parallel scenario: the Figure 9 sweep and the 16-method comparison.
+
+    Three sweep configurations — the per-prefix serial loop (the PR-1
+    vectorized baseline), the batched restriction solver on one core, and
+    the batched solver fanned out over ``workers`` shared-memory workers —
+    plus the 16-method comparison serial versus scheduled.  Cross-checks
+    that every configuration produces identical curves / selections.
+    """
+    from repro.parallel import SolveScheduler, solve_methods
+
+    collection = get_context(scale).collection(domain)
+    snapshot, gold = collection.snapshot, collection.gold
+    problem = FusionProblem(snapshot)
+    order = sources_by_recall(snapshot, gold)
+    n = len(order)
+    prefix_sizes = sorted(
+        set(list(range(1, min(12, n) + 1)) + list(range(12, n + 1, 4)) + [n])
+    )
+
+    def sweep(**kwargs):
+        started = time.perf_counter()
+        curves = recall_as_sources_added(
+            snapshot, gold, SWEEP_METHODS, ordering=order,
+            prefix_sizes=prefix_sizes, problem=problem, **kwargs,
+        )
+        return time.perf_counter() - started, curves
+
+    serial_s, serial_curves = sweep(batched=False)
+    batched_s, batched_curves = sweep(batched=True)
+
+    started = time.perf_counter()
+    serial16 = {name: make_method(name).run(problem) for name in METHOD_NAMES}
+    serial16_s = time.perf_counter() - started
+
+    with SolveScheduler(workers=workers) as scheduler:
+        # Warm the pool and the shared-memory export outside the timings
+        # (the scenario measures steady-state scheduling, not fork latency)
+        # — registered with copy structures so the 16-method plan's
+        # AccuCopy does not trigger a re-export inside the timed region.
+        scheduler.register(None, problem, gold=gold, with_copy=True)
+        solve_methods(problem, ["Vote"], scheduler=scheduler)
+
+        parallel_s, parallel_curves = sweep(scheduler=scheduler)
+        started = time.perf_counter()
+        outcomes = solve_methods(
+            problem, list(METHOD_NAMES), scheduler=scheduler
+        )
+        parallel16_s = time.perf_counter() - started
+
+    curves_equal = all(
+        serial_curves[name].recalls == batched_curves[name].recalls
+        == parallel_curves[name].recalls
+        for name in SWEEP_METHODS
+    )
+    selections_equal = all(
+        outcome.result.selected == serial16[outcome.method].selected
+        for outcome in outcomes
+    )
+    return {
+        "workers": workers,
+        "figure9_sweep": {
+            "methods": list(SWEEP_METHODS),
+            "prefix_sizes": len(prefix_sizes),
+            "serial_s": serial_s,
+            "batched_s": batched_s,
+            "parallel_s": parallel_s,
+            "batched_speedup": serial_s / batched_s,
+            "parallel_speedup": serial_s / parallel_s,
+            "curves_equal": curves_equal,
+        },
+        "methods16": {
+            "serial_s": serial16_s,
+            "parallel_s": parallel16_s,
+            "speedup": serial16_s / parallel16_s,
+            "selections_equal": selections_equal,
+        },
+    }
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--scale", default="small",
@@ -321,6 +405,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--repeat", type=int, default=3,
                         help="best-of-N for the compile/detection timings")
     parser.add_argument("--domains", nargs="+", default=["stock", "flight"])
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the parallel scenario "
+                             "(1 skips it; the payload records the value)")
     args = parser.parse_args(argv)
 
     domains: Dict[str, object] = {}
@@ -328,6 +415,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"[bench] {domain} @ {args.scale} ...", flush=True)
         domains[domain] = bench_domain(domain, args.scale, args.repeat)
         domains[domain]["streaming"] = bench_streaming(domain, args.scale)
+        if args.workers > 1:
+            domains[domain]["parallel"] = bench_parallel(
+                domain, args.scale, args.workers
+            )
         sweep = domains[domain]["figure9_sweep"]
         compile_ = domains[domain]["compile"]
         streaming = domains[domain]["streaming"]
@@ -340,25 +431,51 @@ def main(argv: Sequence[str] | None = None) -> int:
             f" (selections equal: {streaming['selections_equal']})",
             flush=True,
         )
+        if "parallel" in domains[domain]:
+            par = domains[domain]["parallel"]
+            print(
+                f"[bench] {domain}: parallel@{args.workers}w sweep"
+                f" x{par['figure9_sweep']['parallel_speedup']:.1f}"
+                f" (batched x{par['figure9_sweep']['batched_speedup']:.1f},"
+                f" curves equal: {par['figure9_sweep']['curves_equal']}),"
+                f" 16 methods x{par['methods16']['speedup']:.1f}"
+                f" (selections equal: {par['methods16']['selections_equal']})",
+                flush=True,
+            )
 
     sweeps = [domains[d]["figure9_sweep"]["speedup"] for d in domains]
     compiles = [domains[d]["compile"]["speedup_warm"] for d in domains]
+    summary = {
+        "figure9_speedup_min": min(sweeps),
+        "compile_speedup_warm_min": min(compiles),
+        "compile_speedup_cold_min": min(
+            domains[d]["compile"]["speedup_cold"] for d in domains
+        ),
+        "streaming_speedup_min": min(
+            domains[d]["streaming"]["speedup"] for d in domains
+        ),
+    }
+    if args.workers > 1:
+        summary["parallel_sweep_speedup_min"] = min(
+            domains[d]["parallel"]["figure9_sweep"]["parallel_speedup"]
+            for d in domains
+        )
+        summary["parallel_methods16_speedup_min"] = min(
+            domains[d]["parallel"]["methods16"]["speedup"] for d in domains
+        )
+        summary["batched_sweep_speedup_min"] = min(
+            domains[d]["parallel"]["figure9_sweep"]["batched_speedup"]
+            for d in domains
+        )
     payload = {
         "scale": args.scale,
+        "workers": args.workers,
         "python": platform.python_version(),
         "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
         "unix_time": time.time(),
         "domains": domains,
-        "summary": {
-            "figure9_speedup_min": min(sweeps),
-            "compile_speedup_warm_min": min(compiles),
-            "compile_speedup_cold_min": min(
-                domains[d]["compile"]["speedup_cold"] for d in domains
-            ),
-            "streaming_speedup_min": min(
-                domains[d]["streaming"]["speedup"] for d in domains
-            ),
-        },
+        "summary": summary,
     }
     with open(args.output, "w") as handle:
         json.dump(payload, handle, indent=2)

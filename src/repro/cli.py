@@ -25,7 +25,7 @@ from typing import Optional, Sequence
 
 from repro.evaluation.metrics import evaluate
 from repro.fusion.base import FusionProblem
-from repro.fusion.registry import METHOD_NAMES, make_method
+from repro.fusion.registry import METHOD_NAMES
 from repro.io import (
     read_claims_csv,
     read_gold_csv,
@@ -52,31 +52,49 @@ def _cmd_methods(_args: argparse.Namespace) -> int:
 
 
 def _cmd_fuse(args: argparse.Namespace) -> int:
+    from repro.parallel import solve_methods
+
     dataset = read_claims_csv(args.claims)
     print(
         f"loaded {dataset.num_claims} claims from {dataset.num_sources} sources "
         f"({dataset.num_items} items)",
         file=sys.stderr,
     )
-    method = make_method(args.method, **_method_kwargs(args))
-    result = method.run(FusionProblem(dataset))
-    print(
-        f"{args.method}: {result.rounds} rounds, "
-        f"converged={result.converged}, {result.runtime_seconds:.2f}s",
-        file=sys.stderr,
+    methods = args.method or ["AccuSim"]
+    kwargs = _method_kwargs(args)
+    problem = FusionProblem(dataset)
+    # One compiled problem, one method run each; several methods fan out
+    # across the worker pool.
+    outcomes = solve_methods(
+        problem,
+        methods,
+        workers=args.workers,
+        method_kwargs={name: dict(kwargs) for name in methods},
     )
-    if args.gold:
-        gold = read_gold_csv(args.gold)
-        score = evaluate(dataset, gold, result)
-        print(f"precision={score.precision:.4f} recall={score.recall:.4f}")
-    if args.output:
-        write_result_json(result, args.output)
-        print(f"wrote {args.output}", file=sys.stderr)
-    elif not args.gold:
-        for item, value in sorted(result.selected.items())[:20]:
-            print(f"{item.object_id}\t{item.attribute}\t{value}")
-        if len(result.selected) > 20:
-            print(f"... ({len(result.selected)} items; use -o for the full set)")
+    gold = read_gold_csv(args.gold) if args.gold else None
+    multi = len(methods) > 1
+    for name, outcome in zip(methods, outcomes):
+        result = outcome.result
+        print(
+            f"{name}: {result.rounds} rounds, "
+            f"converged={result.converged}, {result.runtime_seconds:.2f}s",
+            file=sys.stderr,
+        )
+        if gold is not None:
+            score = evaluate(dataset, gold, result)
+            prefix = f"{name}: " if multi else ""
+            print(f"{prefix}precision={score.precision:.4f} recall={score.recall:.4f}")
+        if args.output:
+            output = Path(args.output)
+            if multi:
+                output = output.with_name(f"{output.stem}.{name}{output.suffix}")
+            write_result_json(result, output)
+            print(f"wrote {output}", file=sys.stderr)
+        elif gold is None:
+            for item, value in sorted(result.selected.items())[:20]:
+                print(f"{item.object_id}\t{item.attribute}\t{value}")
+            if len(result.selected) > 20:
+                print(f"... ({len(result.selected)} items; use -o for the full set)")
     return 0
 
 
@@ -93,11 +111,19 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         methods,
         {name: dict(kwargs) for name in methods} if kwargs else None,
         warm_start=not args.cold,
+        workers=args.workers,
     )
     output_dir = Path(args.output_dir) if args.output_dir else None
     if output_dir is not None:
         output_dir.mkdir(parents=True, exist_ok=True)
 
+    try:
+        return _stream_loop(args, directory, methods, runner, output_dir)
+    finally:
+        runner.close()
+
+
+def _stream_loop(args, directory, methods, runner, output_dir) -> int:
     seen = set()
     idle_polls = 0
     while True:
@@ -173,15 +199,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    fuse = sub.add_parser("fuse", help="run a fusion method on a claims CSV")
+    fuse = sub.add_parser("fuse", help="run fusion method(s) on a claims CSV")
     fuse.add_argument("claims", help="claims CSV (see repro.io)")
-    fuse.add_argument("--method", default="AccuSim", choices=METHOD_NAMES)
+    fuse.add_argument("--method", action="append", choices=METHOD_NAMES,
+                      help="method(s) to run (repeatable; default: AccuSim)")
     fuse.add_argument("--gold", help="optional gold CSV to score against")
-    fuse.add_argument("-o", "--output", help="write the result JSON here")
+    fuse.add_argument("-o", "--output",
+                      help="write the result JSON here (with several methods "
+                           "the method name is inserted before the suffix)")
     fuse.add_argument("--max-rounds", type=int, default=None,
                       help="cap on fixed-point rounds (method default: 60)")
     fuse.add_argument("--tolerance", type=float, default=None,
                       help="L-inf trust convergence threshold (default 1e-5)")
+    fuse.add_argument("--workers", type=int, default=1,
+                      help="worker processes when several methods are given")
     fuse.set_defaults(func=_cmd_fuse)
 
     stream = sub.add_parser(
@@ -205,6 +236,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="cap on fixed-point rounds (method default: 60)")
     stream.add_argument("--tolerance", type=float, default=None,
                         help="L-inf trust convergence threshold (default 1e-5)")
+    stream.add_argument("--workers", type=int, default=1,
+                        help="solve each day's methods across this many workers")
     stream.set_defaults(func=_cmd_stream)
 
     demo = sub.add_parser("export-demo", help="export a generated collection")

@@ -8,12 +8,12 @@ introduces, and the net precision change.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.dataset import Dataset
 from repro.core.gold import GoldStandard
 from repro.evaluation.metrics import error_items, evaluate
-from repro.fusion.base import FusionResult
+from repro.fusion.base import FusionProblem, FusionResult
 
 #: The method pairs compared in Table 8.
 TABLE8_PAIRS: Tuple[Tuple[str, str], ...] = (
@@ -60,3 +60,41 @@ def compare_methods(
         new_errors=new,
         precision_delta=advanced_precision - basic_precision,
     )
+
+
+def run_comparisons(
+    dataset: Dataset,
+    gold: GoldStandard,
+    problem: Optional[FusionProblem] = None,
+    pairs: Sequence[Tuple[str, str]] = TABLE8_PAIRS,
+    workers: int = 0,
+    scheduler=None,
+) -> List[MethodComparison]:
+    """Run every method named in ``pairs`` once and compare the pairs.
+
+    The distinct methods are one solve each on the shared compiled problem
+    — an embarrassingly parallel plan, so they fan out through the solve
+    scheduler when ``workers > 1`` (or a shared scheduler is passed).
+    """
+    from repro.fusion.registry import make_method
+    from repro.parallel import solve_methods
+
+    names: List[str] = []
+    for basic, advanced in pairs:
+        for name in (basic, advanced):
+            if name not in names:
+                names.append(name)
+    base = problem if problem is not None else FusionProblem(dataset)
+    if workers <= 1 and scheduler is None:
+        results: Dict[str, FusionResult] = {
+            name: make_method(name).run(base) for name in names
+        }
+    else:
+        outcomes = solve_methods(
+            base, names, workers=workers, scheduler=scheduler
+        )
+        results = {name: oc.result for name, oc in zip(names, outcomes)}
+    return [
+        compare_methods(dataset, gold, results[basic], results[advanced])
+        for basic, advanced in pairs
+    ]

@@ -55,6 +55,35 @@ def _fusion_recall(
     return evaluate(subproblem, gold, result).recall
 
 
+def _subset_recalls(
+    base: FusionProblem,
+    gold: GoldStandard,
+    subsets: Sequence[Sequence[str]],
+    method: str,
+    workers: int = 0,
+    scheduler=None,
+) -> List[float]:
+    """Fusion recall of ``method`` on every subset (batched / parallel).
+
+    Every subset is an independent ``restrict_sources`` solve, so they go
+    through the planned scheduler as one sweep — identical recalls to the
+    one-at-a-time :func:`_fusion_recall` loop.
+    """
+    from repro.parallel import solve_sweep
+
+    rows = solve_sweep(
+        base,
+        [method],
+        subsets,
+        gold=gold,
+        workers=workers,
+        scheduler=scheduler,
+        evaluate=True,
+        return_selection=False,
+    )
+    return [row[0].recall or 0.0 for row in rows]
+
+
 def greedy_source_selection(
     dataset: Dataset,
     gold: GoldStandard,
@@ -62,12 +91,16 @@ def greedy_source_selection(
     max_sources: Optional[int] = None,
     min_gain: float = 1e-4,
     candidate_pool: Optional[Sequence[str]] = None,
+    workers: int = 0,
+    scheduler=None,
 ) -> SelectionResult:
     """Greedy forward selection maximizing fusion recall on the gold slice.
 
     ``candidate_pool`` restricts the candidates (default: all sources,
     pre-ordered by individual recall so ties resolve sensibly).  Complexity
-    is O(|selected| * |pool|) fusion runs — use a VOTE-style method.
+    is O(|selected| * |pool|) fusion runs — each round's candidate
+    evaluations are independent and run as one batched (optionally
+    multi-worker) sweep.
     """
     pool = list(
         candidate_pool if candidate_pool is not None else sources_by_recall(dataset, gold)
@@ -81,10 +114,13 @@ def greedy_source_selection(
     history: List[float] = []
     current = 0.0
     while pool and len(selected) < limit:
+        recalls = _subset_recalls(
+            base, gold, [selected + [c] for c in pool], method,
+            workers=workers, scheduler=scheduler,
+        )
         best_source = None
         best_recall = current
-        for candidate in pool:
-            recall = _fusion_recall(base, gold, selected + [candidate], method)
+        for candidate, recall in zip(pool, recalls):
             if recall > best_recall + min_gain or (
                 best_source is None and not selected
             ):
@@ -112,18 +148,19 @@ def recall_prefix_selection(
     gold: GoldStandard,
     method: str = "Vote",
     max_prefix: Optional[int] = None,
+    workers: int = 0,
+    scheduler=None,
 ) -> SelectionResult:
     """Cut the recall-ordered source list at the fusion-recall peak."""
     order = sources_by_recall(dataset, gold)
     limit = min(max_prefix or len(order), len(order))
     base = FusionProblem(dataset)
-    history: List[float] = []
-    best_recall, best_size = -1.0, 1
-    for size in range(1, limit + 1):
-        recall = _fusion_recall(base, gold, order[:size], method)
-        history.append(recall)
-        if recall > best_recall:
-            best_recall, best_size = recall, size
+    history = _subset_recalls(
+        base, gold, [order[:size] for size in range(1, limit + 1)], method,
+        workers=workers, scheduler=scheduler,
+    )
+    best_size = max(range(len(history)), key=lambda i: (history[i], -i)) + 1
+    best_recall = history[best_size - 1]
     all_recall = history[-1] if limit == len(order) else _fusion_recall(
         base, gold, order, method
     )

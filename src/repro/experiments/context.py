@@ -58,12 +58,21 @@ def _flight_config(scale: str) -> FlightConfig:
 
 @dataclass
 class ExperimentContext:
-    """Lazily-generated collections plus cached fusion problems."""
+    """Lazily-generated collections plus cached fusion problems.
+
+    ``workers`` is the parallelism every experiment in this context may
+    use; :meth:`scheduler` is the shared
+    :class:`~repro.parallel.SolveScheduler` behind it — one worker pool,
+    and one shared-memory export per compiled problem, reused by every
+    experiment that runs in the context (``None`` while ``workers <= 1``).
+    """
 
     scale: str = "small"
+    workers: int = 1
     _stock: Optional[DomainCollection] = field(default=None, repr=False)
     _flight: Optional[DomainCollection] = field(default=None, repr=False)
     _problems: Dict[str, FusionProblem] = field(default_factory=dict, repr=False)
+    _scheduler: Optional[object] = field(default=None, repr=False)
 
     @property
     def stock(self) -> DomainCollection:
@@ -94,6 +103,39 @@ class ExperimentContext:
     @property
     def domains(self) -> tuple:
         return ("stock", "flight")
+
+    # ------------------------------------------------------------ parallelism
+    def scheduler(self):
+        """The context-wide solve scheduler, or ``None`` when serial.
+
+        On platforms without usable shared memory the scheduler object is
+        still returned — it executes the same jobs inline — so callers can
+        thread ``scheduler=ctx.scheduler()`` unconditionally.
+        """
+        if self.workers <= 1:
+            return None
+        if self._scheduler is None:
+            from repro.parallel import SolveScheduler
+
+            self._scheduler = SolveScheduler(workers=self.workers)
+        return self._scheduler
+
+    def prepare(self) -> None:
+        """Generate both collections and compile their report problems now.
+
+        ``runner all`` calls this once up front so every experiment that
+        follows reuses the same datasets and compiled problems instead of
+        paying the generation/compile on its first lazy access.
+        """
+        for domain in self.domains:
+            self.collection(domain)
+            self.problem(domain)
+
+    def close(self) -> None:
+        """Shut down the shared scheduler (idempotent)."""
+        if self._scheduler is not None:
+            self._scheduler.close()
+            self._scheduler = None
 
 
 _CACHE: Dict[str, ExperimentContext] = {}

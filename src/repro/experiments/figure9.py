@@ -66,6 +66,8 @@ def run(
             ordering=order,
             prefix_sizes=prefix_sizes,
             problem=ctx.problem(domain),  # compile once, slice per prefix
+            workers=ctx.workers,
+            scheduler=ctx.scheduler(),  # prefixes fan out across the pool
         )
         orderings[domain] = order
         sizes[domain] = prefix_sizes

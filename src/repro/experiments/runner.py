@@ -65,15 +65,36 @@ EXPERIMENTS: Dict[str, Tuple[Callable, Callable]] = {
 ALIASES = {"figure2": "figure2_3", "figure3": "figure2_3", "table2": "table1"}
 
 
-def run_experiment(experiment_id: str, scale: str = "small") -> str:
-    """Run one experiment and return its rendered report."""
+def run_experiment(
+    experiment_id: str,
+    scale: str = "small",
+    context=None,
+    workers: int = 0,
+) -> str:
+    """Run one experiment and return its rendered report.
+
+    Pass ``context`` to share one generated dataset + compiled problem (and
+    one worker pool) across several experiments — ``main('all')`` does.
+    """
     key = ALIASES.get(experiment_id, experiment_id)
     if key not in EXPERIMENTS:
         known = ", ".join(sorted(EXPERIMENTS))
         raise ConfigError(f"unknown experiment {experiment_id!r}; known: {known}")
-    context = get_context(scale)
+    owned = context is None
+    if context is None:
+        context = get_context(scale)
+    prior_workers = context.workers
+    if workers:
+        context.workers = workers
     run, render = EXPERIMENTS[key]
-    return render(run(context))
+    try:
+        return render(run(context))
+    finally:
+        if owned and workers:
+            # The context is the process-wide cache: don't let a one-off
+            # workers override (or its worker pool) outlive this call.
+            context.workers = prior_workers
+            context.close()
 
 
 def main(argv=None) -> int:
@@ -86,16 +107,37 @@ def main(argv=None) -> int:
         help="experiment id (table1..table9, figure1..figure12) or 'all'",
     )
     parser.add_argument("--scale", choices=SCALES, default="small")
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the parallelizable experiments "
+             "(method comparisons, the Figure 9 sweep, Table 9 streaming)",
+    )
     args = parser.parse_args(argv)
 
     ids = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for experiment_id in ids:
-        started = time.perf_counter()
-        report = run_experiment(experiment_id, scale=args.scale)
-        elapsed = time.perf_counter() - started
-        print(f"== {experiment_id} (scale={args.scale}, {elapsed:.1f}s) ==")
-        print(report)
-        print()
+    context = get_context(args.scale)
+    prior_workers = context.workers
+    context.workers = args.workers
+    try:
+        if args.experiment == "all":
+            # One dataset generation + one compiled problem per domain,
+            # shared by every experiment below (and exported to the shared
+            # worker pool at most once).
+            started = time.perf_counter()
+            context.prepare()
+            elapsed = time.perf_counter() - started
+            print(f"== context (scale={args.scale}, prepared in {elapsed:.1f}s) ==")
+            print()
+        for experiment_id in ids:
+            started = time.perf_counter()
+            report = run_experiment(experiment_id, context=context)
+            elapsed = time.perf_counter() - started
+            print(f"== {experiment_id} (scale={args.scale}, {elapsed:.1f}s) ==")
+            print(report)
+            print()
+    finally:
+        context.workers = prior_workers
+        context.close()
     return 0
 
 

@@ -14,8 +14,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.evaluation.metrics import evaluate
 from repro.experiments.context import ExperimentContext
 from repro.experiments.report import format_table
-from repro.fusion.copy_aware import AccuCopy
-from repro.fusion.registry import METHOD_NAMES, make_method
+from repro.fusion.registry import METHOD_NAMES
 from repro.fusion.trust import sample_trust, trust_diagnostics
 
 #: Table 7 of the paper: (prec w. trust, prec w/o trust) per method/domain.
@@ -72,28 +71,51 @@ def run(
     ctx: ExperimentContext,
     method_names: Sequence[str] = METHOD_NAMES,
 ) -> Table7Result:
+    from repro.parallel import MethodCall, solve_methods
+
     rows: List[Table7Row] = []
     for domain in ctx.domains:
         collection = ctx.collection(domain)
         snapshot, gold = collection.snapshot, collection.gold
         problem = ctx.problem(domain)
+
+        # Every (method, seeded?) cell is an independent solve on the one
+        # compiled problem — plan them all and fan out across the pool.
+        samples = {name: sample_trust(name, snapshot, gold) for name in method_names}
+        calls = [MethodCall(name) for name in method_names]
+        seeded_calls = []
         for name in method_names:
-            plain = make_method(name).run(problem)
+            if samples[name] is None:
+                continue
+            kwargs = (
+                {"known_groups": collection.true_copy_groups()}
+                if name == "AccuCopy" else {}
+            )
+            seeded_calls.append(
+                MethodCall(
+                    name, kwargs=kwargs,
+                    trust_seed=samples[name], freeze_trust=True, tag=name,
+                )
+            )
+        outcomes = solve_methods(
+            problem, calls + seeded_calls,
+            workers=ctx.workers, scheduler=ctx.scheduler(),
+        )
+        plain_results = {
+            name: oc.result for name, oc in zip(method_names, outcomes)
+        }
+        seeded_results = {
+            oc.tag: oc.result for oc in outcomes[len(calls):]
+        }
+        for name in method_names:
+            plain = plain_results[name]
             plain_score = evaluate(snapshot, gold, plain)
 
-            sample = sample_trust(name, snapshot, gold)
+            sample = samples[name]
             seeded_precision: Optional[float] = None
             diagnostics = None
             if sample is not None:
-                if name == "AccuCopy":
-                    seeded_method = AccuCopy(
-                        known_groups=collection.true_copy_groups()
-                    )
-                else:
-                    seeded_method = make_method(name)
-                seeded = seeded_method.run(
-                    problem, trust_seed=sample, freeze_trust=True
-                )
+                seeded = seeded_results[name]
                 seeded_precision = evaluate(snapshot, gold, seeded).precision
                 diagnostics = trust_diagnostics(plain, sample)
             rows.append(

@@ -10,11 +10,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
-from repro.evaluation.compare import TABLE8_PAIRS, MethodComparison, compare_methods
+from repro.evaluation.compare import TABLE8_PAIRS, MethodComparison, run_comparisons
 from repro.experiments.context import ExperimentContext
 from repro.experiments.report import format_table
-from repro.fusion.base import FusionResult
-from repro.fusion.registry import make_method
 
 #: Paper Table 8: (fixed, new, delta-precision) per pair per domain.
 PAPER_REFERENCE = {
@@ -55,23 +53,14 @@ def run(
     comparisons: Dict[str, List[MethodComparison]] = {}
     for domain in ctx.domains:
         collection = ctx.collection(domain)
-        snapshot, gold = collection.snapshot, collection.gold
-        problem = ctx.problem(domain)
-        cache: Dict[str, FusionResult] = {}
-
-        def result_of(name: str) -> FusionResult:
-            if name not in cache:
-                cache[name] = make_method(name).run(problem)
-            return cache[name]
-
-        rows = []
-        for basic, advanced in pairs:
-            rows.append(
-                compare_methods(
-                    snapshot, gold, result_of(basic), result_of(advanced)
-                )
-            )
-        comparisons[domain] = rows
+        comparisons[domain] = run_comparisons(
+            collection.snapshot,
+            collection.gold,
+            problem=ctx.problem(domain),
+            pairs=pairs,
+            workers=ctx.workers,
+            scheduler=ctx.scheduler(),
+        )
     return Table8Result(comparisons=comparisons)
 
 

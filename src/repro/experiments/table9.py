@@ -73,7 +73,7 @@ def run(
             days = None
         series[domain] = precision_over_time(
             collection.series, collection.gold_by_day, method_names, days=days,
-            engine=engine, warm_start=warm_start,
+            engine=engine, warm_start=warm_start, workers=ctx.workers,
         )
     return Table9Result(series=series)
 

@@ -18,7 +18,12 @@ from repro.fusion.bayesian import (
     TruthFinder,
 )
 from repro.fusion.copy_aware import AccuCopy
-from repro.fusion.ensemble import ensemble_vote, precision_weighted_ensemble
+from repro.fusion.batch import BATCH_SAFE_METHODS, RestrictionSweep, solve_restrictions
+from repro.fusion.ensemble import (
+    ensemble_of_methods,
+    ensemble_vote,
+    precision_weighted_ensemble,
+)
 from repro.fusion.extensions import AccuCategory, select_plausible_values
 from repro.fusion.seeding import consistent_item_seed, seed_coverage
 from repro.fusion.spec import FusionSession, MethodSpec
@@ -58,6 +63,10 @@ __all__ = [
     "PopAccu",
     "TruthFinder",
     "AccuCopy",
+    "BATCH_SAFE_METHODS",
+    "RestrictionSweep",
+    "solve_restrictions",
+    "ensemble_of_methods",
     "ensemble_vote",
     "precision_weighted_ensemble",
     "AccuCategory",

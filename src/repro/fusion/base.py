@@ -136,6 +136,7 @@ class FusionProblem:
         self._attr_specs = view.attr_specs
         self._attr_tol = attr_tol
 
+        self._item_index = compiled.item_index  # view codes of kept items
         self.items: List[DataItem] = [
             view.items[i] for i in compiled.item_index.tolist()
         ]
@@ -197,7 +198,11 @@ class FusionProblem:
         self._cluster_rep = reps
 
     # --------------------------------------------------------- source subsets
-    def restrict_sources(self, source_ids: Iterable[str]) -> "FusionProblem":
+    def restrict_sources(
+        self,
+        source_ids: Iterable[str],
+        attr_tol: Optional[np.ndarray] = None,
+    ) -> "FusionProblem":
         """Compile a sub-problem over a subset of sources, zero rebuild.
 
         Equivalent to ``FusionProblem(dataset.restricted_to_sources(ids))``
@@ -207,6 +212,11 @@ class FusionProblem:
         instead of copying and re-clustering the dataset.  Restrictions
         compose: restricting an already-restricted problem intersects the
         claim masks.
+
+        ``attr_tol`` supplies the restriction's Equation-(3) tolerances
+        when the caller has already computed them (the batched sweep solver
+        derives every subset's medians from one shared sorted pass); it
+        must equal ``compute_tolerances(view, mask)`` for the restriction.
         """
         if self._view is None:
             raise FusionError(
@@ -224,7 +234,8 @@ class FusionProblem:
         mask = keep_view[view.claim_source]
         if self._claim_mask is not None:
             mask &= self._claim_mask
-        attr_tol = compute_tolerances(view, mask)
+        if attr_tol is None:
+            attr_tol = compute_tolerances(view, mask)
         compiled = compile_clusters(view, attr_tol, mask)
         problem = FusionProblem.__new__(FusionProblem)
         problem._init_from(

@@ -1,0 +1,546 @@
+"""Batched solving of many source-restrictions of one problem.
+
+The Figure 9 sweep and greedy source selection solve the *same* method on
+dozens of restrictions of the *same* snapshot (source prefixes, candidate
+subsets).  Solving them one by one pays per-restriction Python dispatch for
+every kernel of every fixed-point round — and at small prefixes the arrays
+are tiny, so dispatch dominates the flops.
+
+:func:`solve_restrictions` compiles each restriction exactly as the
+per-job path does (``restrict_sources`` — the compile work is identical),
+then **concatenates** the compiled problems into one block-diagonal
+super-problem: job ``j``'s items, clusters, claims, and source rows are
+contiguous blocks, and one numpy kernel sweep per round advances *every*
+restriction's fixed point at once.  Because every *batch-safe* method's
+kernels are segment-local (per item / per source / per claim, with no
+global normalization), the stacked iteration computes, round for round,
+exactly the per-job iterations.  Convergence is tracked per job (max trust
+delta over the job's row block); a finished job's rows are frozen and the
+batch **compacts** — rebuilds the concatenation without the finished
+blocks — once frozen claims outweigh a quarter of the batch, so stragglers
+don't drag converged jobs' arrays through their remaining rounds.
+
+Methods with *global* reductions in their kernels — HUB / AVGLOG / INVEST
+(max-normalization over all sources), 2-/3-ESTIMATES (min-max rescaling
+over all clusters), the per-attribute ACCU variants (cross-block smoothing
+state), and ACCUCOPY (pairwise detection) — are not batch-safe and
+transparently fall back to per-job solving, so the API is uniform for all
+sixteen registered methods.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.columnar import _as_float
+from repro.errors import FusionError
+from repro.fusion.base import FusionMethod, FusionProblem, FusionResult
+from repro.fusion.spec import MethodSpec
+
+#: Methods whose vote/trust kernels decompose per block (no global
+#: normalizations), held to per-job equality by tests/fusion/test_batch.py.
+BATCH_SAFE_METHODS = frozenset(
+    {"Vote", "PooledInvest", "Cosine", "TruthFinder",
+     "AccuPr", "PopAccu", "AccuSim", "AccuFormat"}
+)
+
+#: Compact the batch when finished jobs own more than this fraction of the
+#: active claims (rebuilding costs about one round over the survivors).
+COMPACT_THRESHOLD = 0.25
+#: Restrictions holding more than this fraction of the base problem's
+#: claims solve per-job instead of joining the multiplexed batch: their
+#: kernels are already array-bound (amortizing dispatch buys nothing) and
+#: streaming them through the concatenation only spoils cache locality
+#: for the small jobs the batch exists to help.
+LARGE_JOB_FRACTION = 0.35
+
+
+@dataclass
+class RestrictionOutcome:
+    """One restriction's solve outcome (batched or per-job, same shape).
+
+    ``result`` is ``None`` for *raw* outcomes (``package=False``): the
+    selection stays an array of per-item cluster indices
+    (``selected_local``) for :class:`GoldScorer`-style vectorized scoring,
+    and ``matcher`` is the restricted problem itself.
+    """
+
+    sources: List[str]
+    result: Optional[FusionResult]
+    matcher: Optional[object]  # anything exposing values_match(attr, a, b)
+    empty: bool = False
+    trust_array: Optional[np.ndarray] = field(default=None, repr=False)
+    selected_local: Optional[np.ndarray] = field(default=None, repr=False)
+    rounds: int = 0
+    converged: bool = False
+
+
+def _empty_outcome(base: FusionProblem, subset: Sequence[str]) -> RestrictionOutcome:
+    wanted = set(subset)
+    return RestrictionOutcome(
+        sources=[s for s in base.sources if s in wanted],
+        result=None,
+        matcher=None,
+        empty=True,
+    )
+
+
+def solve_restrictions(
+    base: FusionProblem,
+    method: Union[FusionMethod, MethodSpec],
+    subsets: Sequence[Sequence[str]],
+    batched: bool = True,
+) -> List[RestrictionOutcome]:
+    """Solve ``method`` on every source-restriction of ``base``.
+
+    Bit-identical to ``method.run(base.restrict_sources(subset))`` per
+    subset; restrictions that lose every claim yield ``empty`` outcomes
+    (the per-job path raises :class:`FusionError` there).  ``batched=False``
+    forces the per-job path — the benchmark's baseline.  To run several
+    methods over one set of restrictions, build a :class:`RestrictionSweep`
+    so the compilations are shared.
+    """
+    return RestrictionSweep(base, subsets, shared_tolerances=batched).solve(
+        method, batched=batched
+    )
+
+
+class RestrictionSweep:
+    """Many source-restrictions of one problem, compiled once, solved often.
+
+    Compiling a restriction (tolerances + re-bucketing) costs as much as
+    solving it, and a sweep typically runs *several* methods over the same
+    subsets — so the compilations are hoisted here and shared.  With
+    ``shared_tolerances`` every subset's Equation-(3) medians come from one
+    presorted pass (:class:`_SharedToleranceTable`) instead of a fresh scan
+    per subset; the resulting problems are identical either way.
+    """
+
+    def __init__(
+        self,
+        base: FusionProblem,
+        subsets: Sequence[Sequence[str]],
+        shared_tolerances: bool = True,
+    ):
+        self.base = base
+        self.subsets = [list(s) for s in subsets]
+        self.subs: List[Optional[FusionProblem]] = []
+        table = (
+            _SharedToleranceTable(base)
+            if shared_tolerances and base._view is not None and len(self.subsets) > 1
+            else None
+        )
+        view = base._view
+        for subset in self.subsets:
+            attr_tol = None
+            if table is not None:
+                wanted = set(subset)
+                if not all(s in wanted for s in base.sources):
+                    keep_view = np.zeros(view.n_sources, dtype=bool)
+                    keep_view[base._source_codes[
+                        [i for i, s in enumerate(base.sources) if s in wanted]
+                    ]] = True
+                    attr_tol = table.for_sources(keep_view)
+            try:
+                self.subs.append(base.restrict_sources(subset, attr_tol=attr_tol))
+            except FusionError:
+                self.subs.append(None)
+
+    def solve(
+        self,
+        method: Union[FusionMethod, MethodSpec],
+        batched: bool = True,
+        package: bool = True,
+    ) -> List[RestrictionOutcome]:
+        """Solve ``method`` on every restriction.
+
+        ``package=False`` (batched path only) returns *raw* outcomes —
+        cluster-index selections and trust arrays instead of packaged
+        :class:`FusionResult` dicts — for vectorized downstream scoring.
+        """
+        spec = MethodSpec.of(method)
+        live = sum(1 for sub in self.subs if sub is not None)
+        if batched and spec.name in BATCH_SAFE_METHODS and live > 1:
+            return _solve_batched(self, spec, package)
+        return self._solve_per_job(method)
+
+    def _solve_per_job(
+        self, method: Union[FusionMethod, MethodSpec]
+    ) -> List[RestrictionOutcome]:
+        from repro.fusion.spec import FusionSession
+
+        outcomes: List[RestrictionOutcome] = []
+        for subset, sub in zip(self.subsets, self.subs):
+            if sub is None:
+                outcomes.append(_empty_outcome(self.base, subset))
+                continue
+            result = FusionSession(method, warm_start=False).step(sub)
+            outcomes.append(
+                RestrictionOutcome(
+                    sources=list(sub.sources),
+                    result=result,
+                    matcher=sub,
+                )
+            )
+        return outcomes
+
+
+# --------------------------------------------------------------------------
+# The batched path: concatenated compiled problems, multiplexed rounds
+# --------------------------------------------------------------------------
+
+class _SharedToleranceTable:
+    """Equation-(3) tolerances for many source-subsets of one problem.
+
+    ``compute_tolerances`` re-scans and re-medians every attribute column
+    per restriction.  This table sorts the base problem's numeric claims
+    once by ``(attribute, |value|)``; each subset's per-attribute median is
+    then a boolean filter plus a middle-element pick over the presorted
+    magnitudes — numerically identical to ``np.median`` (middle element,
+    or the mean of the two middles), at a fraction of the cost.
+    """
+
+    def __init__(self, base: FusionProblem):
+        from repro.core.attributes import TIME_TOLERANCE_MINUTES, ValueKind
+
+        view = base._view
+        self.n_attrs = view.n_attrs
+        specs = view.attr_specs
+        self.base_tol = np.zeros(self.n_attrs, dtype=np.float64)
+        is_time = np.asarray(
+            [spec.kind is ValueKind.TIME for spec in specs], dtype=bool
+        )
+        self.base_tol[is_time] = TIME_TOLERANCE_MINUTES
+        is_numeric = np.asarray(
+            [spec.kind.is_numeric for spec in specs], dtype=bool
+        )
+        self.factors = np.asarray(
+            [spec.tolerance_factor for spec in specs], dtype=np.float64
+        )
+        claim_attr = view.item_attr[view.claim_item]
+        magnitude = np.abs(view.claim_numeric)
+        ok = is_numeric[claim_attr] & ~np.isnan(magnitude)
+        if base._claim_mask is not None:
+            ok &= base._claim_mask
+        positions = np.flatnonzero(ok)
+        order = np.lexsort((magnitude[positions], claim_attr[positions]))
+        self.positions = positions[order]
+        self.attrs = claim_attr[self.positions]
+        self.mags = magnitude[self.positions]
+        self.sources = view.claim_source[self.positions]
+
+    def for_sources(self, keep_view: np.ndarray) -> np.ndarray:
+        """Tolerances of the restriction keeping ``keep_view`` sources."""
+        keep = keep_view[self.sources]
+        attrs, mags = self.attrs[keep], self.mags[keep]
+        tolerances = self.base_tol.copy()
+        if not len(attrs):
+            return tolerances
+        starts = np.searchsorted(attrs, np.arange(self.n_attrs + 1))
+        counts = np.diff(starts)
+        present = np.flatnonzero(counts)
+        mid = starts[present] + (counts[present] - 1) // 2
+        hi = np.minimum(mid + 1, len(mags) - 1)
+        medians = np.where(
+            counts[present] % 2 == 1, mags[mid], (mags[mid] + mags[hi]) / 2.0
+        )
+        tolerances[present] = self.factors[present] * medians
+        return tolerances
+
+class _ConcatProblem(FusionProblem):
+    """Block-diagonal concatenation of already-compiled problems.
+
+    Only the arrays the batch-safe kernels touch are materialized; the
+    evidence edges concatenate the member problems' lazily-built edges on
+    first access, so a method that never reads them (VOTE) never pays for
+    them — exactly like the per-job path.
+    """
+
+    def __init__(self, subs: Sequence[FusionProblem]):  # noqa: D107
+        self._subs = list(subs)
+        self.item_offsets = np.cumsum([0] + [s.n_items for s in subs])
+        self.cluster_offsets = np.cumsum([0] + [s.n_clusters for s in subs])
+        self.source_offsets = np.cumsum([0] + [s.n_sources for s in subs])
+        self.claim_offsets = np.cumsum([0] + [s.n_claims for s in subs])
+        self.n_items = int(self.item_offsets[-1])
+        self.n_clusters = int(self.cluster_offsets[-1])
+        self.n_sources = int(self.source_offsets[-1])
+        self.n_claims = int(self.claim_offsets[-1])
+        self.n_attrs = subs[0].n_attrs
+
+        self.cluster_item = np.concatenate([
+            s.cluster_item + off
+            for s, off in zip(subs, self.item_offsets[:-1])
+        ])
+        self.cluster_support = np.concatenate([s.cluster_support for s in subs])
+        self.item_start = np.append(
+            np.concatenate([
+                s.item_start[:-1] + off
+                for s, off in zip(subs, self.cluster_offsets[:-1])
+            ]),
+            self.n_clusters,
+        )
+        self.claim_source = np.concatenate([
+            s.claim_source + off
+            for s, off in zip(subs, self.source_offsets[:-1])
+        ])
+        self.claim_cluster = np.concatenate([
+            s.claim_cluster + off
+            for s, off in zip(subs, self.cluster_offsets[:-1])
+        ])
+        self.claim_item = np.concatenate([
+            s.claim_item + off
+            for s, off in zip(subs, self.item_offsets[:-1])
+        ])
+        self.claims_per_source = np.concatenate([s.claims_per_source for s in subs])
+        self.providers_per_item = np.concatenate([s.providers_per_item for s in subs])
+        self.clusters_per_item = np.concatenate([s.clusters_per_item for s in subs])
+        self._sim: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        self._fmt: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        self._copy = None
+        self._copy_seed = None
+
+    @property
+    def similarity_edges(self):
+        if self._sim is None:
+            edges = [s.similarity_edges for s in self._subs]
+            self._sim = (
+                np.concatenate([
+                    e[0] + off for e, off in zip(edges, self.cluster_offsets[:-1])
+                ]),
+                np.concatenate([
+                    e[1] + off for e, off in zip(edges, self.cluster_offsets[:-1])
+                ]),
+                np.concatenate([e[2] for e in edges]),
+            )
+        return self._sim
+
+    @property
+    def format_edges(self):
+        if self._fmt is None:
+            edges = [s.format_edges for s in self._subs]
+            self._fmt = (
+                np.concatenate([
+                    e[0] + off for e, off in zip(edges, self.source_offsets[:-1])
+                ]),
+                np.concatenate([
+                    e[1] + off for e, off in zip(edges, self.cluster_offsets[:-1])
+                ]),
+                np.concatenate([e[2] for e in edges]),
+            )
+        return self._fmt
+
+
+def _solo_outcome(
+    sub: FusionProblem, spec: MethodSpec, package: bool
+) -> RestrictionOutcome:
+    """Solve one restriction alone (large or leftover jobs of a batch)."""
+    from repro.fusion.spec import FusionSession, run_fixed_point
+
+    if package:
+        result = FusionSession(spec, warm_start=False).step(sub)
+        result.extras["batched"] = True  # planned by the batch solver
+        return RestrictionOutcome(
+            sources=list(sub.sources), result=result, matcher=sub
+        )
+    state = spec.initial_state(sub, None)
+    selected, rounds, converged = run_fixed_point(spec, sub, state)
+    return RestrictionOutcome(
+        sources=list(sub.sources),
+        result=None,
+        matcher=sub,
+        trust_array=state["trust"],
+        selected_local=selected,
+        rounds=rounds,
+        converged=converged,
+    )
+
+
+def _solve_batched(
+    sweep: RestrictionSweep, spec: MethodSpec, package: bool = True
+) -> List[RestrictionOutcome]:
+    started = time.perf_counter()
+    outcomes: List[Optional[RestrictionOutcome]] = [None] * len(sweep.subsets)
+    cutoff = LARGE_JOB_FRACTION * sweep.base.n_claims
+    subs: List[FusionProblem] = []
+    job_ids: List[int] = []
+    for j, (subset, sub) in enumerate(zip(sweep.subsets, sweep.subs)):
+        if sub is None:
+            outcomes[j] = _empty_outcome(sweep.base, subset)
+            continue
+        if sub.n_claims > cutoff:
+            outcomes[j] = _solo_outcome(sub, spec, package)
+            continue
+        subs.append(sub)
+        job_ids.append(j)
+    if not subs:
+        return outcomes  # type: ignore[return-value]
+    if len(subs) == 1:
+        outcomes[job_ids[0]] = _solo_outcome(subs[0], spec, package)
+        return outcomes  # type: ignore[return-value]
+
+    # ---- multiplexed fixed point over the concatenation of the jobs
+    blocks = list(range(len(subs)))  # sub index of each stacked block
+    stacked = _ConcatProblem(subs)
+    state = {"trust": np.concatenate([
+        spec.initial_state(s, None)["trust"] for s in subs
+    ])}
+    frozen_rows = np.zeros(stacked.n_sources, dtype=bool)
+    frozen_claims = 0
+    finished: dict = {}  # sub index -> (selected, trust, rounds, converged)
+
+    rounds = 0
+    while len(finished) < len(subs) and rounds < spec.max_rounds:
+        rounds += 1
+        trust = state["trust"]
+        scores = spec.votes(stacked, state)
+        # Batch-safe methods never read the selection inside update_trust
+        # (only ACCUCOPY does, and it is not batch-safe), so the per-item
+        # argmax — pure output — is deferred to rounds where a job actually
+        # finishes; the per-job loop computes it every round and discards it.
+        new_trust = spec.update_trust(stacked, state, scores, None)
+        if frozen_claims:
+            new_trust[frozen_rows] = trust[frozen_rows]
+        deltas = np.maximum.reduceat(
+            np.abs(new_trust - trust), stacked.source_offsets[:-1]
+        )
+        state["trust"] = new_trust
+        selected = None
+        for pos, sub_index in enumerate(blocks):
+            if sub_index in finished:
+                continue
+            if deltas[pos] < spec.tolerance or rounds == spec.max_rounds:
+                if selected is None:
+                    selected = stacked.argmax_per_item(scores)
+                i0, i1 = stacked.item_offsets[pos], stacked.item_offsets[pos + 1]
+                r0, r1 = stacked.source_offsets[pos], stacked.source_offsets[pos + 1]
+                finished[sub_index] = (
+                    selected[i0:i1] - stacked.cluster_offsets[pos],
+                    new_trust[r0:r1].copy(),
+                    rounds,
+                    bool(deltas[pos] < spec.tolerance),
+                )
+                frozen_rows[r0:r1] = True
+                frozen_claims += int(
+                    stacked.claim_offsets[pos + 1] - stacked.claim_offsets[pos]
+                )
+        survivors = [i for i in blocks if i not in finished]
+        if survivors and frozen_claims > COMPACT_THRESHOLD * stacked.n_claims:
+            carried = state["trust"][~frozen_rows]
+            blocks = survivors
+            stacked = _ConcatProblem([subs[i] for i in blocks])
+            state = {"trust": carried}
+            frozen_rows = np.zeros(stacked.n_sources, dtype=bool)
+            frozen_claims = 0
+    elapsed = time.perf_counter() - started
+
+    # ---- package per-job outcomes exactly like the per-job path
+    n_solved = max(len(subs), 1)
+    for sub_index, job in enumerate(job_ids):
+        sub = subs[sub_index]
+        selected, trust, job_rounds, converged = finished[sub_index]
+        if package:
+            result = FusionResult(
+                method=spec.name,
+                selected=sub.selection_to_values(selected),
+                trust={s: float(t) for s, t in zip(sub.sources, trust)},
+                rounds=job_rounds,
+                converged=converged,
+                runtime_seconds=elapsed / n_solved,
+                extras={"batched": True},
+            )
+        else:
+            result = None
+        outcomes[job] = RestrictionOutcome(
+            sources=list(sub.sources),
+            result=result,
+            matcher=sub,
+            trust_array=trust,
+            selected_local=selected,
+            rounds=job_rounds,
+            converged=converged,
+        )
+    return outcomes  # type: ignore[return-value]
+
+
+class GoldScorer:
+    """Vectorized precision/recall of raw batched selections.
+
+    ``evaluate()`` walks the gold standard item by item through Python
+    dicts; over a sweep that walk costs as much as the solves.  This
+    scorer precomputes, per view item, the gold truth (object and float
+    form) and scores a raw selection array with one vectorized tolerance
+    comparison — falling back to the attribute spec's exact ``matches``
+    only for string attributes and non-convertible values, so the counts
+    are identical to ``evaluate(matcher, gold, result)``.
+    """
+
+    def __init__(self, base: FusionProblem, gold):
+        from repro.core.attributes import TIME_TOLERANCE_MINUTES, ValueKind
+
+        view = base._view
+        if view is None:
+            raise FusionError("GoldScorer requires a columnar-compiled problem")
+        self.view = view
+        self.num_gold = len(gold)
+        self.time_tolerance = TIME_TOLERANCE_MINUTES
+        self.gold_pos = np.full(len(view.items), -1, dtype=np.int64)
+        self.truth_obj: List[object] = []
+        for code, item in enumerate(view.items):
+            truth = gold.values.get(item)
+            if truth is not None:
+                self.gold_pos[code] = len(self.truth_obj)
+                self.truth_obj.append(truth)
+        self.truth_float = np.asarray([
+            _as_float(truth) for truth in self.truth_obj
+        ], dtype=np.float64)
+        self.is_string = np.asarray(
+            [spec.kind is ValueKind.STRING for spec in view.attr_specs], dtype=bool
+        )
+        self.is_time = np.asarray(
+            [spec.kind is ValueKind.TIME for spec in view.attr_specs], dtype=bool
+        )
+
+    def score(
+        self, sub: FusionProblem, selected_local: np.ndarray
+    ) -> Tuple[float, float]:
+        """``(precision, recall)`` of a raw selection on a restriction."""
+        view = self.view
+        codes = sub._item_index
+        gold_slot = self.gold_pos[codes]
+        rows = np.flatnonzero(gold_slot >= 0)
+        if not len(rows):
+            return 0.0, 0.0
+        slot = gold_slot[rows]
+        value_codes = sub._cluster_value_code[selected_local[rows]]
+        attr = view.item_attr[codes[rows]]
+        provided = view.value_numeric[value_codes]
+        truth = self.truth_float[slot]
+        both_numeric = ~np.isnan(provided) & ~np.isnan(truth)
+        vectorized = both_numeric & ~self.is_string[attr]
+        correct = np.zeros(len(rows), dtype=bool)
+        time_rows = vectorized & self.is_time[attr]
+        correct[time_rows] = (
+            np.abs(provided - truth)[time_rows] <= self.time_tolerance
+        )
+        numeric_rows = vectorized & ~self.is_time[attr]
+        correct[numeric_rows] = (
+            np.abs(provided - truth)[numeric_rows]
+            <= sub._attr_tol[attr][numeric_rows]
+        )
+        for i in np.flatnonzero(~vectorized):
+            spec = view.attr_specs[attr[i]]
+            correct[i] = spec.matches(
+                view.values[value_codes[i]],
+                self.truth_obj[slot[i]],
+                float(sub._attr_tol[attr[i]]),
+            )
+        n_correct = int(correct.sum())
+        return (
+            n_correct / len(rows),
+            n_correct / self.num_gold if self.num_gold else 0.0,
+        )

@@ -79,6 +79,44 @@ def ensemble_vote(
     )
 
 
+def ensemble_of_methods(
+    dataset: Dataset,
+    method_names: Sequence[str],
+    *,
+    problem=None,
+    weights: Optional[Sequence[float]] = None,
+    validation_precisions: Optional[Dict[str, float]] = None,
+    method_kwargs: Optional[Dict[str, dict]] = None,
+    workers: int = 0,
+    scheduler=None,
+    name: str = "Ensemble",
+) -> FusionResult:
+    """Run the member methods (in parallel when asked) and combine them.
+
+    The members share one compiled problem and are independent solves, so
+    they fan out through the solve scheduler; the combination itself is
+    :func:`ensemble_vote` (or the precision-weighted variant when
+    ``validation_precisions`` is given).
+    """
+    from repro.fusion.base import FusionProblem
+    from repro.parallel import solve_methods
+
+    base = problem if problem is not None else FusionProblem(dataset)
+    outcomes = solve_methods(
+        base,
+        list(method_names),
+        workers=workers,
+        scheduler=scheduler,
+        method_kwargs=method_kwargs,
+    )
+    results = [outcome.result for outcome in outcomes]
+    if validation_precisions is not None:
+        return precision_weighted_ensemble(
+            dataset, results, validation_precisions, name=name
+        )
+    return ensemble_vote(dataset, results, weights=weights, name=name)
+
+
 def precision_weighted_ensemble(
     dataset: Dataset,
     results: Sequence[FusionResult],

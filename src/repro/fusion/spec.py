@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -78,6 +78,43 @@ class MethodSpec:
             package=method._package,
             uses_copy_detection=getattr(method, "uses_copy_detection", False),
         )
+
+
+def run_fixed_point(
+    spec: MethodSpec,
+    problem: FusionProblem,
+    state: State,
+    freeze_trust: bool = False,
+) -> Tuple[np.ndarray, int, bool]:
+    """Drive ``spec``'s vote/trust kernels to a fixed point on ``problem``.
+
+    The solver loop shared by :meth:`FusionSession.step` and the parallel
+    workers (:mod:`repro.parallel`): mutates ``state`` in place and returns
+    ``(selected, rounds, converged)``.  Callers that warm-start overwrite
+    ``state["trust"]`` before calling.
+    """
+    rounds = 0
+    converged = False
+    selected = None
+    for rounds in range(1, spec.max_rounds + 1):
+        scores = spec.votes(problem, state)
+        selected = problem.argmax_per_item(scores)
+        if freeze_trust:
+            converged = True
+            break
+        new_trust = spec.update_trust(problem, state, scores, selected)
+        delta = (
+            float(np.max(np.abs(new_trust - state["trust"])))
+            if new_trust.size
+            else 0.0
+        )
+        state["trust"] = new_trust
+        if delta < spec.tolerance:
+            converged = True
+            break
+    if selected is None:  # pragma: no cover - max_rounds >= 1 always
+        raise FusionError("fusion produced no selection")
+    return selected, rounds, converged
 
 
 class FusionSession:
@@ -144,6 +181,18 @@ class FusionSession:
                 trust[j] = prev[i]
         return trust
 
+    def resume_trust(self, problem: FusionProblem) -> Optional[np.ndarray]:
+        """The warm trust this session would carry onto ``problem``.
+
+        ``None`` when the next step is a cold start (first step, or
+        ``warm_start=False``).  Used by the parallel scheduler to ship a
+        session's carried trust to a worker without shipping the session.
+        """
+        if not (self.warm_start and self._state is not None):
+            return None
+        fresh = self.spec.initial_state(problem, None)["trust"]
+        return self._rebased_trust(problem, fresh)
+
     # ------------------------------------------------------------- stepping
     def step(
         self,
@@ -163,29 +212,33 @@ class FusionSession:
             # starts fresh from the spec's initial state.
             state["trust"] = self._rebased_trust(problem, state["trust"])
 
-        rounds = 0
-        converged = False
-        selected = None
-        for rounds in range(1, spec.max_rounds + 1):
-            scores = spec.votes(problem, state)
-            selected = problem.argmax_per_item(scores)
-            if freeze_trust:
-                converged = True
-                break
-            new_trust = spec.update_trust(problem, state, scores, selected)
-            delta = (
-                float(np.max(np.abs(new_trust - state["trust"])))
-                if new_trust.size
-                else 0.0
-            )
-            state["trust"] = new_trust
-            if delta < spec.tolerance:
-                converged = True
-                break
-        if selected is None:  # pragma: no cover - max_rounds >= 1 always
-            raise FusionError("fusion produced no selection")
+        selected, rounds, converged = run_fixed_point(
+            spec, problem, state, freeze_trust
+        )
         runtime = time.perf_counter() - started
+        return self.absorb_step(
+            problem, state, selected, rounds, converged, runtime,
+            day=day, warmed=warmed,
+        )
 
+    def absorb_step(
+        self,
+        problem: FusionProblem,
+        state: State,
+        selected: np.ndarray,
+        rounds: int,
+        converged: bool,
+        runtime: float,
+        day: Optional[str] = None,
+        warmed: bool = False,
+    ) -> FusionResult:
+        """Adopt the outcome of a solver step (local or remote) as session state.
+
+        This is the bookkeeping tail of :meth:`step`, split out so a
+        parallel worker can run :func:`run_fixed_point` elsewhere and the
+        owning session still advances exactly as if it had solved locally.
+        """
+        spec = self.spec
         result = spec.package(problem, state, selected, rounds, converged, runtime)
         if day is not None:
             result.extras["day"] = day

@@ -1,0 +1,703 @@
+"""Parallel execution engine: shared-memory fusion workers and a solve scheduler.
+
+The paper's headline experiments are embarrassingly parallel — sixteen
+methods per snapshot, one solve per source-prefix in the Figure 9 sweep,
+one per day in Table 9 — but a compiled :class:`~repro.fusion.base.FusionProblem`
+is megabytes of numpy arrays, and pickling it into every worker would cost
+more than the solves.  This module is the layer in between:
+
+* :class:`SolveScheduler` — takes a *plan* of :class:`SolveJob`\\ s against
+  registered problems, dedupes shared compilations (one export per problem,
+  not per job), publishes each problem's arrays **once** into
+  ``multiprocessing.shared_memory`` (:mod:`repro.core.shm`) with the object
+  tables (items, sources, values, attribute specs, gold) in a pickle
+  sidecar loaded once per worker, and fans the jobs out to a persistent
+  ``ProcessPoolExecutor``.  Workers rehydrate zero-copy problem views,
+  run :func:`~repro.fusion.spec.run_fixed_point` (or the batched sweep
+  solver of :mod:`repro.fusion.batch`), and results are gathered in
+  deterministic plan order.  With ``workers <= 1`` — or on platforms
+  without POSIX shared memory — the same job-execution code runs inline,
+  so serial and parallel schedules are bit-identical by construction.
+* Job shapes cover the big consumers: plain method runs (method
+  comparisons, ensembles), source-restricted runs and *batched sweeps*
+  (Figure 9 / greedy selection; each worker chunk solves its restrictions
+  through the block-diagonal batch solver), and *raw* session steps
+  (streaming: the worker returns trust + selected indices and the parent
+  session absorbs them, keeping warm-start state authoritative in the
+  parent).
+
+Everything future scale work schedules onto lives here: sharding a corpus
+is a plan of restricted jobs; serving is a plan of raw steps.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.columnar import ColumnarView, CompiledClusters
+from repro.core.gold import GoldStandard
+from repro.core.shm import (
+    AttachedBundle,
+    BundleDescriptor,
+    SharedArrayBundle,
+    shared_memory_available,
+)
+from repro.errors import FusionError
+from repro.fusion.base import FusionProblem, FusionResult
+from repro.fusion.batch import RestrictionOutcome
+from repro.fusion.registry import make_method
+from repro.fusion.spec import MethodSpec, run_fixed_point
+
+__all__ = [
+    "MethodCall",
+    "SolveJob",
+    "CallOutcome",
+    "JobOutcome",
+    "SolveScheduler",
+    "default_workers",
+    "solve_methods",
+    "solve_sweep",
+]
+
+
+def default_workers() -> int:
+    """A sensible worker count for this host (``0`` disables the pool)."""
+    cores = os.cpu_count() or 1
+    return cores if cores > 1 else 0
+
+
+# --------------------------------------------------------------------------
+# Plan vocabulary
+# --------------------------------------------------------------------------
+
+@dataclass
+class MethodCall:
+    """One method invocation inside a job."""
+
+    method: str
+    kwargs: Dict[str, object] = field(default_factory=dict)
+    trust_seed: Optional[Dict[str, float]] = None
+    freeze_trust: bool = False
+    warm_trust: Optional[np.ndarray] = None
+    tag: object = None
+
+
+@dataclass
+class SolveJob:
+    """One schedulable unit: method calls against one registered problem.
+
+    ``sources`` restricts the problem (the worker carves the restriction
+    from the shared view); ``subsets`` turns the job into a batched sweep —
+    every call runs on every subset through
+    :func:`repro.fusion.batch.solve_restrictions`.  ``raw=True`` returns
+    trust/selection arrays instead of packaged results (the streaming
+    protocol).  ``evaluate`` scores outcomes against the problem's
+    registered gold standard inside the worker.
+    """
+
+    problem: str
+    calls: List[MethodCall]
+    sources: Optional[List[str]] = None
+    subsets: Optional[List[List[str]]] = None
+    batched: bool = True
+    raw: bool = False
+    evaluate: bool = False
+    return_selection: bool = True
+    tag: object = None
+
+
+@dataclass
+class CallOutcome:
+    """Outcome of one method call on one (possibly restricted) problem."""
+
+    method: str
+    tag: object = None
+    result: Optional[FusionResult] = None
+    trust: Optional[np.ndarray] = None
+    selected: Optional[np.ndarray] = None  # cluster indices (raw jobs)
+    rounds: int = 0
+    converged: bool = False
+    runtime_seconds: float = 0.0
+    precision: Optional[float] = None
+    recall: Optional[float] = None
+    empty: bool = False
+
+
+@dataclass
+class JobOutcome:
+    """A job's outcomes, shaped like the job (calls, or subsets x calls)."""
+
+    tag: object = None
+    calls: Optional[List[CallOutcome]] = None
+    sweep: Optional[List[List[CallOutcome]]] = None
+
+
+# --------------------------------------------------------------------------
+# Problem export / rehydration
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ProblemDescriptor:
+    """Everything a worker needs to rehydrate a registered problem."""
+
+    key: str
+    generation: int
+    bundle: BundleDescriptor
+    sidecar: str
+    has_mask: bool
+    has_copy: bool
+
+
+def _export_problem(
+    problem: FusionProblem, gold: Optional[GoldStandard], tmpdir: str,
+    key: str, generation: int, with_copy: bool,
+) -> Tuple[SharedArrayBundle, ProblemDescriptor]:
+    view = problem._view
+    if view is None:
+        raise FusionError("only columnar-compiled problems can be exported")
+    arrays: Dict[str, np.ndarray] = {
+        "v_item_attr": view.item_attr,
+        "v_item_start": view.item_start,
+        "v_claim_item": view.claim_item,
+        "v_claim_source": view.claim_source,
+        "v_claim_value": view.claim_value,
+        "v_claim_numeric": view.claim_numeric,
+        "v_claim_granularity": view.claim_granularity,
+        "v_value_numeric": view.value_numeric,
+        "v_value_str_rank": view.value_str_rank,
+        "attr_tol": problem._attr_tol,
+        "source_codes": problem._source_codes,
+        "p_item_index": problem._item_index,
+        "p_item_start": problem.item_start,
+        "p_cluster_item": problem.cluster_item,
+        "p_cluster_value": problem._cluster_value_code,
+        "p_cluster_support": problem.cluster_support,
+        "p_claim_source": problem._source_codes[problem.claim_source],
+        "p_claim_cluster": problem.claim_cluster,
+        "p_claim_value": problem._claim_value_code,
+        "p_claim_granularity": problem._claim_granularity,
+    }
+    has_mask = problem._claim_mask is not None
+    if has_mask:
+        arrays["claim_mask"] = problem._claim_mask
+    has_copy = False
+    if with_copy or problem._copy is not None or problem._copy_seed is not None:
+        structures = problem.copy_structures
+        arrays["copy_same"] = np.asarray(structures.same, dtype=np.float64)
+        arrays["copy_shared"] = np.asarray(structures.shared, dtype=np.float64)
+        has_copy = True
+    bundle = SharedArrayBundle.create(arrays)
+
+    sidecar = os.path.join(tmpdir, f"{key}.{generation}.pkl".replace(os.sep, "_"))
+    payload = {
+        "items": view.items,
+        "sources": view.sources,
+        "attr_names": view.attr_names,
+        "attr_specs": view.attr_specs,
+        "values": view.values,
+        "problem_sources": list(problem.sources),
+        "gold": (gold.domain, dict(gold.values)) if gold is not None else None,
+    }
+    with open(sidecar, "wb") as handle:
+        pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    descriptor = ProblemDescriptor(
+        key=key,
+        generation=generation,
+        bundle=bundle.descriptor,
+        sidecar=sidecar,
+        has_mask=has_mask,
+        has_copy=has_copy,
+    )
+    return bundle, descriptor
+
+
+class _AttachedProblem:
+    """Worker-side rehydrated problem plus the bundle keeping it alive."""
+
+    def __init__(self, descriptor: ProblemDescriptor):
+        self.generation = descriptor.generation
+        self.bundle = AttachedBundle(descriptor.bundle)
+        with open(descriptor.sidecar, "rb") as handle:
+            payload = pickle.load(handle)
+        arr = self.bundle.arrays
+        view = ColumnarView(
+            items=payload["items"],
+            sources=payload["sources"],
+            attr_names=payload["attr_names"],
+            attr_specs=payload["attr_specs"],
+            item_attr=arr["v_item_attr"],
+            item_start=arr["v_item_start"],
+            claim_item=arr["v_claim_item"],
+            claim_source=arr["v_claim_source"],
+            claim_value=arr["v_claim_value"],
+            claim_numeric=arr["v_claim_numeric"],
+            claim_granularity=arr["v_claim_granularity"],
+            values=payload["values"],
+            value_numeric=arr["v_value_numeric"],
+            value_str_rank=arr["v_value_str_rank"],
+        )
+        item_index = arr["p_item_index"]
+        compiled = CompiledClusters(
+            item_index=item_index,
+            item_attr=view.item_attr[item_index],
+            item_start=arr["p_item_start"],
+            cluster_item=arr["p_cluster_item"],
+            cluster_value=arr["p_cluster_value"],
+            cluster_support=arr["p_cluster_support"],
+            claim_source=arr["p_claim_source"],
+            claim_cluster=arr["p_claim_cluster"],
+            claim_value=arr["p_claim_value"],
+            claim_granularity=arr["p_claim_granularity"],
+        )
+        self.problem = FusionProblem.from_compiled(
+            view=view,
+            compiled=compiled,
+            sources=payload["problem_sources"],
+            source_codes=arr["source_codes"],
+            attr_tol=arr["attr_tol"],
+            claim_mask=arr.get("claim_mask"),
+        )
+        if descriptor.has_copy:
+            self.problem.seed_copy_counts(arr["copy_same"], arr["copy_shared"])
+        self.gold: Optional[GoldStandard] = None
+        if payload["gold"] is not None:
+            domain, values = payload["gold"]
+            self.gold = GoldStandard(domain=domain, values=values)
+
+    def close(self) -> None:
+        self.problem = None
+        self.bundle.close()
+
+
+#: Per-worker cache of attached problems, keyed by registration key.
+_WORKER_PROBLEMS: Dict[str, _AttachedProblem] = {}
+
+
+def _worker_execute(descriptor: ProblemDescriptor, job: SolveJob) -> JobOutcome:
+    entry = _WORKER_PROBLEMS.get(descriptor.key)
+    if entry is None or entry.generation != descriptor.generation:
+        if entry is not None:
+            entry.close()
+        entry = _AttachedProblem(descriptor)
+        _WORKER_PROBLEMS[descriptor.key] = entry
+    return _execute_job(entry.problem, entry.gold, job)
+
+
+# --------------------------------------------------------------------------
+# Job execution (shared by workers and the serial fallback)
+# --------------------------------------------------------------------------
+
+def _score(outcome: CallOutcome, matcher, gold, result) -> None:
+    from repro.evaluation.metrics import evaluate
+
+    if gold is None or result is None or matcher is None:
+        return
+    scored = evaluate(matcher, gold, result)
+    outcome.precision = scored.precision
+    outcome.recall = scored.recall
+
+
+def _run_call(
+    problem: FusionProblem, call: MethodCall, raw: bool
+) -> CallOutcome:
+    method = make_method(call.method, **call.kwargs)
+    spec = MethodSpec.of(method)
+    started = time.perf_counter()
+    state = spec.initial_state(problem, call.trust_seed)
+    warmed = call.warm_trust is not None
+    if warmed:
+        state["trust"] = np.array(call.warm_trust, dtype=np.float64, copy=True)
+    selected, rounds, converged = run_fixed_point(
+        spec, problem, state, call.freeze_trust
+    )
+    runtime = time.perf_counter() - started
+    outcome = CallOutcome(
+        method=spec.name,
+        tag=call.tag,
+        trust=state["trust"],
+        rounds=rounds,
+        converged=converged,
+        runtime_seconds=runtime,
+    )
+    if raw:
+        outcome.selected = selected
+    else:
+        result = spec.package(problem, state, selected, rounds, converged, runtime)
+        result.extras["warm_started"] = warmed
+        outcome.result = result
+    return outcome
+
+
+def _strip_selection(outcome: CallOutcome) -> CallOutcome:
+    if outcome.result is not None:
+        outcome.result.selected = {}
+    return outcome
+
+
+def _execute_sweep(
+    problem: FusionProblem, gold: Optional[GoldStandard], job: SolveJob
+) -> JobOutcome:
+    from repro.fusion.batch import GoldScorer, RestrictionSweep
+
+    subsets = job.subsets or []
+    rows: List[List[Optional[CallOutcome]]] = [
+        [None] * len(job.calls) for _ in subsets
+    ]
+
+    def record(c: int, s: int, restriction: RestrictionOutcome) -> None:
+        call = job.calls[c]
+        outcome = CallOutcome(
+            method=call.method, tag=call.tag, empty=restriction.empty
+        )
+        if restriction.empty:
+            outcome.recall = 0.0
+            outcome.precision = 0.0
+        elif restriction.result is None:
+            # Raw batched outcome: score the selection arrays directly.
+            outcome.rounds = restriction.rounds
+            outcome.converged = restriction.converged
+            outcome.trust = restriction.trust_array
+            if scorer is not None:
+                outcome.precision, outcome.recall = scorer.score(
+                    restriction.matcher, restriction.selected_local
+                )
+        else:
+            outcome.result = restriction.result
+            outcome.rounds = restriction.result.rounds
+            outcome.converged = restriction.result.converged
+            outcome.runtime_seconds = restriction.result.runtime_seconds
+            if job.evaluate:
+                _score(outcome, restriction.matcher, gold, restriction.result)
+            if not job.return_selection:
+                _strip_selection(outcome)
+        rows[s][c] = outcome
+
+    # Restrictions are compiled once and shared by every method of the
+    # sweep — batch-safe methods multiplex their rounds across the subsets,
+    # the rest solve per subset on the same compiled problems.  When the
+    # caller wants scores but no selections, batched solves stay in array
+    # form end to end (GoldScorer), never materializing per-item dicts.
+    sweep = RestrictionSweep(problem, subsets, shared_tolerances=job.batched)
+    raw = job.batched and not job.return_selection and not job.raw
+    scorer = (
+        GoldScorer(problem, gold) if raw and job.evaluate and gold is not None
+        else None
+    )
+    for c, call in enumerate(job.calls):
+        method = make_method(call.method, **call.kwargs)
+        outcomes = sweep.solve(method, batched=job.batched, package=not raw)
+        for s, restriction in enumerate(outcomes):
+            record(c, s, restriction)
+    return JobOutcome(tag=job.tag, sweep=rows)
+
+
+def _execute_job(
+    problem: FusionProblem, gold: Optional[GoldStandard], job: SolveJob
+) -> JobOutcome:
+    if job.subsets is not None:
+        return _execute_sweep(problem, gold, job)
+    target = problem
+    if job.sources is not None:
+        target = problem.restrict_sources(job.sources)
+    outcomes = []
+    for call in job.calls:
+        outcome = _run_call(target, call, job.raw)
+        if job.evaluate and not job.raw:
+            _score(outcome, target, gold, outcome.result)
+        if not job.return_selection and not job.raw:
+            _strip_selection(outcome)
+        outcomes.append(outcome)
+    return JobOutcome(tag=job.tag, calls=outcomes)
+
+
+# --------------------------------------------------------------------------
+# The scheduler
+# --------------------------------------------------------------------------
+
+class _Registration:
+    def __init__(self, problem, gold, bundle=None, descriptor=None):
+        self.problem = problem
+        self.gold = gold
+        self.bundle = bundle
+        self.descriptor = descriptor
+        self.exported_gold = False
+
+
+class SolveScheduler:
+    """A planned solve scheduler over a persistent worker pool.
+
+    ``workers <= 1`` (or missing platform shared memory) degrades to an
+    inline serial executor running the exact same job code, so callers can
+    thread a single scheduler through unconditionally.
+    """
+
+    def __init__(self, workers: int = 0):
+        self.workers = int(workers) if workers else 0
+        self._parallel = self.workers > 1 and shared_memory_available()
+        self._registrations: Dict[str, _Registration] = {}
+        self._pool = None
+        self._tmpdir: Optional[str] = None
+
+    # ------------------------------------------------------------ lifecycle
+    @property
+    def parallel(self) -> bool:
+        return self._parallel
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor
+
+            context = None
+            if "fork" in multiprocessing.get_all_start_methods():
+                context = multiprocessing.get_context("fork")
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=context
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the pool down and release every shared segment."""
+        if self._pool is not None:
+            try:
+                self._pool.shutdown(wait=True, cancel_futures=True)
+            except Exception:  # pragma: no cover - interpreter teardown
+                pass
+            self._pool = None
+        for registration in self._registrations.values():
+            if registration.bundle is not None:
+                registration.bundle.close()
+                registration.bundle.unlink()
+        self._registrations.clear()
+        if self._tmpdir is not None:
+            shutil.rmtree(self._tmpdir, ignore_errors=True)
+            self._tmpdir = None
+
+    def __enter__(self) -> "SolveScheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ---------------------------------------------------------- registration
+    def default_key(self, problem: FusionProblem) -> str:
+        """The canonical key a problem registers under when none is given.
+
+        Safe to key on identity: registrations hold a strong reference, so
+        a registered problem's ``id`` cannot be recycled while it is live.
+        """
+        return f"p{id(problem):x}"
+
+    def register(
+        self,
+        key: Optional[str],
+        problem: FusionProblem,
+        gold: Optional[GoldStandard] = None,
+        with_copy: bool = False,
+    ) -> str:
+        """Publish a compiled problem under ``key`` (idempotent per object).
+
+        Re-registering a key with a *different* problem object replaces the
+        export (streaming reuses one key across days); re-registering the
+        same object is free — this is how shared compilations are deduped
+        across jobs and experiments.  Upgrades that change what workers can
+        see (a gold standard appearing, ``with_copy`` turning on for a
+        copy-aware plan) re-export in place.
+        """
+        if key is None:
+            key = self.default_key(problem)
+        existing = self._registrations.get(key)
+        if existing is not None and existing.problem is problem:
+            if gold is not None and existing.gold is None:
+                existing.gold = gold
+            if self._parallel and existing.descriptor is not None:
+                has_copy = existing.descriptor.has_copy
+                needs_copy = with_copy and not has_copy
+                needs_gold = existing.gold is not None and not existing.exported_gold
+                if needs_copy or needs_gold:
+                    self._reexport(key, existing, with_copy or has_copy)
+            return key
+        if not self._parallel:
+            self._registrations[key] = _Registration(problem, gold)
+            return key
+        registration = _Registration(problem, gold)
+        self._registrations[key] = registration
+        self._reexport(key, registration, with_copy, previous=existing)
+        return key
+
+    def _reexport(self, key, registration, with_copy, previous=None):
+        if self._tmpdir is None:
+            self._tmpdir = tempfile.mkdtemp(prefix="repro-sched-")
+        generation = (
+            previous.descriptor.generation + 1
+            if previous is not None and previous.descriptor is not None
+            else (registration.descriptor.generation + 1
+                  if registration.descriptor is not None else 0)
+        )
+        if previous is not None and previous.bundle is not None:
+            previous.bundle.close()
+            previous.bundle.unlink()
+        if registration.bundle is not None:
+            registration.bundle.close()
+            registration.bundle.unlink()
+        registration.bundle, registration.descriptor = _export_problem(
+            registration.problem, registration.gold, self._tmpdir,
+            key, generation, with_copy,
+        )
+        registration.exported_gold = registration.gold is not None
+
+    # ------------------------------------------------------------- execution
+    def run(self, jobs: Sequence[SolveJob]) -> List[JobOutcome]:
+        """Execute a plan; outcomes come back in plan order."""
+        for job in jobs:
+            if job.problem not in self._registrations:
+                raise FusionError(
+                    f"problem {job.problem!r} is not registered with this scheduler"
+                )
+        if not self._parallel:
+            return [
+                _execute_job(
+                    self._registrations[job.problem].problem,
+                    self._registrations[job.problem].gold,
+                    job,
+                )
+                for job in jobs
+            ]
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(
+                _worker_execute, self._registrations[job.problem].descriptor, job
+            )
+            for job in jobs
+        ]
+        return [future.result() for future in futures]
+
+
+# --------------------------------------------------------------------------
+# Convenience plans
+# --------------------------------------------------------------------------
+
+def _normalize_calls(
+    calls: Sequence[Union[str, MethodCall]],
+    method_kwargs: Optional[Dict[str, dict]] = None,
+) -> List[MethodCall]:
+    normalized = []
+    for call in calls:
+        if isinstance(call, MethodCall):
+            normalized.append(call)
+        else:
+            normalized.append(
+                MethodCall(call, kwargs=dict((method_kwargs or {}).get(call, {})))
+            )
+    return normalized
+
+
+def _uses_copy_detection(calls: Sequence[MethodCall]) -> bool:
+    return any(
+        getattr(make_method(c.method, **c.kwargs), "uses_copy_detection", False)
+        for c in calls
+    )
+
+
+def solve_methods(
+    problem: FusionProblem,
+    calls: Sequence[Union[str, MethodCall]],
+    *,
+    gold: Optional[GoldStandard] = None,
+    workers: int = 0,
+    scheduler: Optional[SolveScheduler] = None,
+    key: Optional[str] = None,
+    evaluate: bool = False,
+    method_kwargs: Optional[Dict[str, dict]] = None,
+) -> List[CallOutcome]:
+    """Run several method calls on one compiled problem, optionally parallel."""
+    plan = _normalize_calls(calls, method_kwargs)
+    own: Optional[SolveScheduler] = None
+    sched = scheduler
+    if sched is None:
+        sched = own = SolveScheduler(workers=workers)
+    try:
+        key = sched.register(
+            key, problem, gold=gold, with_copy=_uses_copy_detection(plan)
+        )
+        if not sched.parallel:
+            job = SolveJob(problem=key, calls=plan, evaluate=evaluate)
+            return sched.run([job])[0].calls
+        jobs = [
+            SolveJob(problem=key, calls=[call], evaluate=evaluate)
+            for call in plan
+        ]
+        return [outcome.calls[0] for outcome in sched.run(jobs)]
+    finally:
+        if own is not None:
+            own.close()
+
+
+def solve_sweep(
+    problem: FusionProblem,
+    calls: Sequence[Union[str, MethodCall]],
+    subsets: Sequence[Sequence[str]],
+    *,
+    gold: Optional[GoldStandard] = None,
+    workers: int = 0,
+    scheduler: Optional[SolveScheduler] = None,
+    key: Optional[str] = None,
+    evaluate: bool = True,
+    batched: bool = True,
+    return_selection: bool = False,
+) -> List[List[CallOutcome]]:
+    """Solve every (subset, call) pair; returns subset-major outcomes.
+
+    Subsets are strided across the worker chunks (a prefix sweep's small
+    and large prefixes interleave, balancing the chunks) and each chunk
+    runs through the batched solver where the method allows.
+    """
+    plan = _normalize_calls(calls)
+    subset_lists = [list(s) for s in subsets]
+    own: Optional[SolveScheduler] = None
+    sched = scheduler
+    if sched is None:
+        sched = own = SolveScheduler(workers=workers)
+    try:
+        key = sched.register(
+            key, problem, gold=gold, with_copy=_uses_copy_detection(plan)
+        )
+        if not sched.parallel or len(subset_lists) < 2:
+            job = SolveJob(
+                problem=key, calls=plan, subsets=subset_lists,
+                batched=batched, evaluate=evaluate,
+                return_selection=return_selection,
+            )
+            return sched.run([job])[0].sweep
+        n_chunks = min(sched.workers, len(subset_lists))
+        chunk_indices = [
+            list(range(k, len(subset_lists), n_chunks)) for k in range(n_chunks)
+        ]
+        jobs = [
+            SolveJob(
+                problem=key,
+                calls=plan,
+                subsets=[subset_lists[i] for i in indices],
+                batched=batched,
+                evaluate=evaluate,
+                return_selection=return_selection,
+            )
+            for indices in chunk_indices
+        ]
+        outcomes = sched.run(jobs)
+        rows: List[Optional[List[CallOutcome]]] = [None] * len(subset_lists)
+        for indices, outcome in zip(chunk_indices, outcomes):
+            for local, index in enumerate(indices):
+                rows[index] = outcome.sweep[local]
+        return rows  # type: ignore[return-value]
+    finally:
+        if own is not None:
+            own.close()

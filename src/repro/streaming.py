@@ -42,7 +42,16 @@ class StreamStep:
 
 
 class StreamRunner:
-    """Sessions for several methods advancing over one shared compiler."""
+    """Sessions for several methods advancing over one shared compiler.
+
+    With ``workers > 1`` the methods of each day solve concurrently: the
+    parent diff-compiles the day once (days stay sequential — warm starts
+    need day ``d-1`` before day ``d``), exports the compiled problem to
+    shared memory under one scheduler key, and ships each worker its
+    method's carried trust.  Workers return raw trust/selection arrays and
+    the owning sessions absorb them, so session state — and every number —
+    is identical to the serial path.
+    """
 
     def __init__(
         self,
@@ -51,13 +60,18 @@ class StreamRunner:
         *,
         warm_start: bool = True,
         compiler: Optional[SeriesCompiler] = None,
+        workers: int = 0,
     ):
         self.method_names = list(method_names)
+        self.method_kwargs = {
+            name: dict((method_kwargs or {}).get(name, {}))
+            for name in self.method_names
+        }
         self.sessions: Dict[str, FusionSession] = {}
         for name in self.method_names:
-            kwargs = (method_kwargs or {}).get(name, {})
             self.sessions[name] = FusionSession(
-                make_method(name, **kwargs), warm_start=warm_start
+                make_method(name, **self.method_kwargs[name]),
+                warm_start=warm_start,
             )
         if compiler is None:
             # The session spec is the single source of truth for whether a
@@ -70,7 +84,39 @@ class StreamRunner:
                 )
             )
         self.compiler = compiler
+        self.workers = workers
+        self._scheduler = None
         self.steps: List[StreamStep] = []
+
+    # ---------------------------------------------------------------- plumbing
+    def _solver(self):
+        """The lazily-created per-runner scheduler (None when serial)."""
+        if self.workers <= 1 or len(self.method_names) < 2:
+            return None
+        if self._scheduler is None:
+            from repro.parallel import SolveScheduler
+
+            scheduler = SolveScheduler(workers=self.workers)
+            if not scheduler.parallel:
+                # No usable shared memory on this platform: remember the
+                # decision (workers=1) so we don't re-probe every day.
+                scheduler.close()
+                self.workers = 1
+                return None
+            self._scheduler = scheduler
+        return self._scheduler
+
+    def close(self) -> None:
+        """Release the worker pool and shared segments (if any)."""
+        if self._scheduler is not None:
+            self._scheduler.close()
+            self._scheduler = None
+
+    def __enter__(self) -> "StreamRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ---------------------------------------------------------------- stepping
     def push(self, dataset: Dataset) -> StreamStep:
@@ -90,11 +136,18 @@ class StreamRunner:
         compile_seconds = time.perf_counter() - started
         results: Dict[str, FusionResult] = {}
         solve_seconds: Dict[str, float] = {}
-        for name in self.method_names:
-            result = self.sessions[name].step(problem, day=day.day)
-            result.extras["compile"] = day.stats
-            results[name] = result
-            solve_seconds[name] = result.runtime_seconds
+        scheduler = self._solver()
+        if scheduler is not None:
+            results = self._step_parallel(scheduler, problem, day)
+            solve_seconds = {
+                name: results[name].runtime_seconds for name in self.method_names
+            }
+        else:
+            for name in self.method_names:
+                result = self.sessions[name].step(problem, day=day.day)
+                result.extras["compile"] = day.stats
+                results[name] = result
+                solve_seconds[name] = result.runtime_seconds
         step = StreamStep(
             day=day.day,
             results=results,
@@ -104,6 +157,56 @@ class StreamRunner:
         )
         self.steps.append(step)
         return step
+
+    def _step_parallel(
+        self, scheduler, problem, day: DayCompilation
+    ) -> Dict[str, FusionResult]:
+        """Solve one day's methods concurrently; sessions absorb the outcomes."""
+        from repro.parallel import MethodCall, SolveJob
+
+        scheduler.register(
+            "stream-day",
+            problem,
+            with_copy=any(
+                self.sessions[name].spec.uses_copy_detection
+                for name in self.method_names
+            ),
+        )
+        warm: Dict[str, object] = {
+            name: self.sessions[name].resume_trust(problem)
+            for name in self.method_names
+        }
+        jobs = [
+            SolveJob(
+                problem="stream-day",
+                calls=[
+                    MethodCall(
+                        name,
+                        kwargs=self.method_kwargs[name],
+                        warm_trust=warm[name],
+                    )
+                ],
+                raw=True,
+            )
+            for name in self.method_names
+        ]
+        outcomes = scheduler.run(jobs)
+        results: Dict[str, FusionResult] = {}
+        for name, outcome in zip(self.method_names, outcomes):
+            call = outcome.calls[0]
+            result = self.sessions[name].absorb_step(
+                problem,
+                {"trust": call.trust},
+                call.selected,
+                call.rounds,
+                call.converged,
+                call.runtime_seconds,
+                day=day.day,
+                warmed=warm[name] is not None,
+            )
+            result.extras["compile"] = day.stats
+            results[name] = result
+        return results
 
     @property
     def days(self) -> List[str]:

@@ -1,0 +1,110 @@
+"""The batched restriction solver against per-job solving."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.metrics import evaluate
+from repro.evaluation.ordering import sources_by_recall
+from repro.fusion.batch import BATCH_SAFE_METHODS, solve_restrictions
+from repro.fusion.registry import METHOD_NAMES, make_method
+
+from tests.helpers import build_dataset
+
+
+@pytest.fixture(scope="module")
+def stock():
+    from repro.experiments.context import get_context
+
+    return get_context("tiny").collection("stock")
+
+
+@pytest.fixture(scope="module")
+def problem(stock):
+    from repro.experiments.context import get_context
+
+    return get_context("tiny").problem("stock")
+
+
+@pytest.fixture(scope="module")
+def prefixes(stock):
+    order = sources_by_recall(stock.snapshot, stock.gold)
+    sizes = sorted(set(list(range(1, 8)) + [12, 20, len(order)]))
+    return [order[:size] for size in sizes]
+
+
+class TestBatchedEqualsPerJob:
+    @pytest.mark.parametrize("name", sorted(BATCH_SAFE_METHODS))
+    def test_batch_safe_methods_are_bit_identical(self, problem, prefixes, stock, name):
+        batched = solve_restrictions(problem, make_method(name), prefixes)
+        per_job = solve_restrictions(
+            problem, make_method(name), prefixes, batched=False
+        )
+        for b, p in zip(batched, per_job):
+            assert b.empty == p.empty
+            if b.empty:
+                continue
+            assert b.result.extras.get("batched") is True
+            assert b.result.selected == p.result.selected
+            assert b.result.rounds == p.result.rounds
+            assert b.result.converged == p.result.converged
+            assert b.sources == p.sources
+            for source in p.result.trust:
+                assert b.result.trust[source] == pytest.approx(
+                    p.result.trust[source], abs=1e-12
+                )
+            # The problem-free matcher scores exactly like the subproblem.
+            gold = stock.gold
+            assert (
+                evaluate(b.matcher, gold, b.result).recall
+                == evaluate(p.matcher, gold, p.result).recall
+            )
+
+    @pytest.mark.parametrize(
+        "name", [n for n in METHOD_NAMES if n not in BATCH_SAFE_METHODS]
+    )
+    def test_global_normalization_methods_fall_back(self, problem, prefixes, name):
+        subsets = prefixes[:3]
+        outcomes = solve_restrictions(problem, make_method(name), subsets)
+        for outcome, subset in zip(outcomes, subsets):
+            reference = make_method(name).run(problem.restrict_sources(subset))
+            assert outcome.result.extras.get("batched") is None
+            assert outcome.result.selected == reference.selected
+            assert outcome.result.rounds == reference.rounds
+
+
+class TestEdgeCases:
+    def test_empty_restriction_yields_empty_outcome(self):
+        from repro.fusion.base import FusionProblem
+
+        dataset = build_dataset({
+            ("s1", "o1", "price"): 10.0,
+            ("s2", "o1", "price"): 11.0,
+        })
+        base = FusionProblem(dataset)
+        outcomes = solve_restrictions(
+            base, make_method("Vote"), [["s1"], ["nope"], ["s2"]]
+        )
+        assert [o.empty for o in outcomes] == [False, True, False]
+        assert outcomes[0].result.selected
+        assert outcomes[1].result is None
+
+    def test_single_subset_uses_per_job_path(self, problem, prefixes):
+        (outcome,) = solve_restrictions(problem, make_method("Vote"), prefixes[:1])
+        assert outcome.result.extras.get("batched") is None
+
+    def test_matcher_tolerances_are_per_restriction(self, problem, prefixes):
+        outcomes = solve_restrictions(problem, make_method("Vote"), prefixes)
+        for outcome, subset in zip(outcomes, prefixes):
+            sub = problem.restrict_sources(subset)
+            assert np.allclose(outcome.matcher._attr_tol, sub._attr_tol)
+
+    def test_compaction_preserves_stragglers(self, problem, prefixes):
+        # A method whose per-prefix round counts vary forces mid-batch
+        # compactions; outcomes must still match the per-job path exactly.
+        batched = solve_restrictions(problem, make_method("Cosine"), prefixes)
+        per_job = solve_restrictions(
+            problem, make_method("Cosine"), prefixes, batched=False
+        )
+        assert [b.result.rounds for b in batched] == [
+            p.result.rounds for p in per_job
+        ]

@@ -1,0 +1,183 @@
+"""Determinism and hygiene of the shared-memory solve scheduler.
+
+The hard guarantees of the parallel engine: every registered method
+produces bit-identical selections and trust (within 1e-12) under
+``workers=4`` versus serial — on the full problem, on a
+``restrict_sources`` sweep, and on a streaming day — and no shared-memory
+segments survive pool shutdown, even after a worker crash.
+"""
+
+import os
+import signal
+
+import pytest
+
+from repro.evaluation.ordering import recall_as_sources_added, sources_by_recall
+from repro.fusion.registry import METHOD_NAMES, make_method
+from repro.parallel import MethodCall, SolveJob, SolveScheduler, solve_methods
+
+pytestmark = pytest.mark.skipif(
+    not SolveScheduler(workers=2).parallel,
+    reason="platform has no usable shared memory",
+)
+
+
+@pytest.fixture(scope="module")
+def stock():
+    from repro.experiments.context import get_context
+
+    return get_context("tiny").collection("stock")
+
+
+@pytest.fixture(scope="module")
+def problem(stock):
+    from repro.experiments.context import get_context
+
+    return get_context("tiny").problem("stock")
+
+
+@pytest.fixture(scope="module")
+def scheduler():
+    with SolveScheduler(workers=4) as sched:
+        yield sched
+
+
+def _attachable(segment: str) -> bool:
+    from multiprocessing import shared_memory
+
+    try:
+        handle = shared_memory.SharedMemory(name=segment)
+    except FileNotFoundError:
+        return False
+    handle.close()
+    return True
+
+
+class TestParallelDeterminism:
+    def test_all_sixteen_methods_match_serial(self, problem, scheduler):
+        serial = {name: make_method(name).run(problem) for name in METHOD_NAMES}
+        outcomes = solve_methods(
+            problem, list(METHOD_NAMES), scheduler=scheduler, key="full"
+        )
+        for name, outcome in zip(METHOD_NAMES, outcomes):
+            reference = serial[name]
+            assert outcome.result.selected == reference.selected, name
+            assert outcome.result.rounds == reference.rounds, name
+            assert outcome.result.converged == reference.converged, name
+            for source, trust in reference.trust.items():
+                assert outcome.result.trust[source] == pytest.approx(
+                    trust, abs=1e-12
+                ), (name, source)
+            if reference.attr_trust is not None:
+                for cell, trust in reference.attr_trust.items():
+                    assert outcome.result.attr_trust[cell] == pytest.approx(
+                        trust, abs=1e-12
+                    ), (name, cell)
+
+    def test_restricted_jobs_match_serial(self, problem, scheduler, stock):
+        order = sources_by_recall(stock.snapshot, stock.gold)
+        subset = order[: len(order) // 2]
+        outcomes = scheduler.run([
+            SolveJob(
+                problem=scheduler.register("full", problem),
+                calls=[MethodCall("AccuSim"), MethodCall("AccuCopy")],
+                sources=list(subset),
+            )
+        ])[0].calls
+        sub = problem.restrict_sources(subset)
+        for outcome in outcomes:
+            reference = make_method(outcome.method).run(sub)
+            assert outcome.result.selected == reference.selected
+            for source, trust in reference.trust.items():
+                assert outcome.result.trust[source] == pytest.approx(trust, abs=1e-12)
+
+    def test_sweep_matches_serial_loop(self, problem, scheduler, stock):
+        snapshot, gold = stock.snapshot, stock.gold
+        order = sources_by_recall(snapshot, gold)
+        sizes = sorted(set(list(range(1, 8)) + [15, len(order)]))
+        methods = ("Vote", "AccuSim", "Hub")
+        serial = recall_as_sources_added(
+            snapshot, gold, methods, ordering=order, prefix_sizes=sizes,
+            problem=problem, batched=False,
+        )
+        parallel = recall_as_sources_added(
+            snapshot, gold, methods, ordering=order, prefix_sizes=sizes,
+            problem=problem, scheduler=scheduler,
+        )
+        for name in methods:
+            assert parallel[name].recalls == serial[name].recalls, name
+
+    def test_streaming_day_matches_serial(self, stock):
+        from repro.streaming import StreamRunner
+
+        methods = ["Vote", "AccuSim", "AccuCopy", "AccuSimAttr"]
+        serial = StreamRunner(methods, warm_start=True)
+        with StreamRunner(methods, warm_start=True, workers=4) as parallel:
+            for snapshot in list(stock.series)[:2]:
+                reference = serial.push(snapshot)
+                step = parallel.push(snapshot)
+                for name in methods:
+                    a, b = reference.results[name], step.results[name]
+                    assert b.selected == a.selected, (snapshot.day, name)
+                    assert b.rounds == a.rounds, (snapshot.day, name)
+                    assert b.extras["warm_started"] == a.extras["warm_started"]
+                    for source, trust in a.trust.items():
+                        assert b.trust[source] == pytest.approx(
+                            trust, abs=1e-12
+                        ), (snapshot.day, name, source)
+
+    def test_serial_fallback_is_the_same_code_path(self, problem):
+        outcomes = solve_methods(problem, ["AccuPr"], workers=0)
+        reference = make_method("AccuPr").run(problem)
+        assert outcomes[0].result.selected == reference.selected
+        assert outcomes[0].result.trust == reference.trust
+
+
+class TestSchedulerHygiene:
+    def _segments(self, scheduler):
+        return [
+            registration.descriptor.bundle.segment
+            for registration in scheduler._registrations.values()
+            if registration.descriptor is not None
+        ]
+
+    def test_no_segments_survive_close(self, problem):
+        scheduler = SolveScheduler(workers=2)
+        solve_methods(problem, ["Vote"], scheduler=scheduler, key="p")
+        segments = self._segments(scheduler)
+        assert segments and all(_attachable(s) for s in segments)
+        scheduler.close()
+        assert not any(_attachable(s) for s in segments)
+
+    def test_no_segments_survive_worker_crash(self, problem):
+        scheduler = SolveScheduler(workers=2)
+        try:
+            solve_methods(problem, ["Vote"], scheduler=scheduler, key="p")
+            segments = self._segments(scheduler)
+            assert segments
+            victim = next(iter(scheduler._pool._processes))
+            os.kill(victim, signal.SIGKILL)
+            with pytest.raises(Exception):
+                solve_methods(problem, ["Vote"], scheduler=scheduler, key="p")
+        finally:
+            scheduler.close()
+        assert not any(_attachable(s) for s in segments)
+
+    def test_reregistering_a_key_replaces_the_export(self, problem, stock):
+        from repro.fusion.base import FusionProblem
+
+        scheduler = SolveScheduler(workers=2)
+        try:
+            scheduler.register("day", problem)
+            first = self._segments(scheduler)
+            other = FusionProblem(stock.series.snapshots[0])
+            scheduler.register("day", other)
+            second = self._segments(scheduler)
+            assert first != second
+            assert not any(_attachable(s) for s in first)
+            assert all(_attachable(s) for s in second)
+            # Same object re-registered: free, nothing re-exported.
+            scheduler.register("day", other)
+            assert self._segments(scheduler) == second
+        finally:
+            scheduler.close()
