@@ -397,6 +397,118 @@ def bench_parallel(domain: str, scale: str, workers: int) -> Dict[str, object]:
     }
 
 
+#: Sharding scenario shape: shard counts swept, methods solved, and the
+#: number of point queries timed against the published TruthStore.
+SHARD_COUNTS = (1, 2, 4)
+SHARD_METHODS = ("Vote", "AccuSim", "TruthFinder")
+SHARD_QUERIES = 2000
+#: Large-corpus object counts per bench scale (wide, shallow snapshots).
+SHARD_OBJECTS = {"tiny": 120, "small": 400, "default": 1500, "paper": 3000}
+
+
+def _percentiles(samples_s: Sequence[float]) -> Dict[str, float]:
+    arr = np.asarray(samples_s, dtype=np.float64) * 1e6
+    return {
+        "p50_us": float(np.percentile(arr, 50)),
+        "p99_us": float(np.percentile(arr, 99)),
+        "mean_us": float(arr.mean()),
+    }
+
+
+def bench_sharding(scale: str, workers: int) -> Dict[str, object]:
+    """Sharded corpus compilation + the truth-serving read path.
+
+    A wide large-corpus Stock snapshot (``StockConfig.large_corpus``) is
+    partitioned by object key into K shards.  For each K the scenario times
+    the **exact** path (per-shard compiles merged back into the global
+    problem, methods solved once — cross-checked bit-identical to the
+    unsharded baseline) and the **independent** path (every shard compiled
+    and solved on its own, serially and across ``workers`` processes).  The
+    exact K=4 results are then published into a :class:`TruthStore` and
+    point lookups / ensemble reads are timed for query p50/p99.
+    """
+    from repro.core.shard import ShardedCorpus, ShardPlan
+    from repro.datagen import StockConfig, generate_stock_collection
+    from repro.serving import TruthStore
+
+    collection = generate_stock_collection(
+        StockConfig.large_corpus(n_objects=SHARD_OBJECTS[scale])
+    )
+    snapshot = collection.snapshot
+    methods = list(SHARD_METHODS)
+
+    started = time.perf_counter()
+    baseline_problem = FusionProblem(snapshot)
+    baseline = {
+        name: make_method(name).run(baseline_problem) for name in methods
+    }
+    baseline_s = time.perf_counter() - started
+
+    counts: Dict[str, object] = {}
+    store = TruthStore()
+    last_exact = None
+    for k in SHARD_COUNTS:
+        entry: Dict[str, object] = {}
+
+        started = time.perf_counter()
+        corpus = ShardedCorpus(snapshot, k, cross_shard="exact")
+        exact = ShardPlan(corpus, methods).run()
+        entry["exact_s"] = time.perf_counter() - started
+        entry["exact_equal"] = all(
+            exact.results[name].selected == baseline[name].selected
+            and exact.results[name].trust == baseline[name].trust
+            for name in methods
+        )
+
+        started = time.perf_counter()
+        approx = ShardedCorpus(snapshot, k, cross_shard="independent")
+        ShardPlan(approx, methods).run()
+        entry["independent_serial_s"] = time.perf_counter() - started
+        entry["live_shards"] = len(approx.shards)
+        if workers > 1 and k > 1:
+            approx_p = ShardedCorpus(snapshot, k, cross_shard="independent")
+            approx_p.base_problem()  # compile outside the timed region
+            started = time.perf_counter()
+            ShardPlan(approx_p, methods).run(workers=workers)
+            entry["independent_parallel_s"] = time.perf_counter() - started
+        counts[str(k)] = entry
+        last_exact = exact
+    store.publish_plan(last_exact)
+
+    # ------------------------------------------------------------- queries
+    rng = np.random.default_rng(23)
+    items = list(baseline_problem.items)
+    picks = rng.choice(len(items), size=min(SHARD_QUERIES, len(items)))
+    lookup_times, ensemble_times = [], []
+    snap = store.snapshot()
+    for index in picks:
+        item = items[int(index)]
+        q0 = time.perf_counter()
+        answer = store.lookup(item.object_id, item.attribute, snapshot=snap)
+        lookup_times.append(time.perf_counter() - q0)
+        assert answer is not None
+        q0 = time.perf_counter()
+        store.ensemble(item.object_id, item.attribute, snapshot=snap)
+        ensemble_times.append(time.perf_counter() - q0)
+
+    return {
+        "scale": scale,
+        "workers": workers,
+        "methods": methods,
+        "shard_counts": list(SHARD_COUNTS),
+        "n_objects": SHARD_OBJECTS[scale],
+        "n_items": baseline_problem.n_items,
+        "n_claims": baseline_problem.n_claims,
+        "unsharded_solve_s": baseline_s,
+        "by_shard_count": counts,
+        "queries": {
+            "n": len(lookup_times),
+            "lookup": _percentiles(lookup_times),
+            "ensemble": _percentiles(ensemble_times),
+        },
+    }
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--scale", default="small",
@@ -443,6 +555,18 @@ def main(argv: Sequence[str] | None = None) -> int:
                 flush=True,
             )
 
+    print(f"[bench] sharding @ {args.scale} ...", flush=True)
+    sharding = bench_sharding(args.scale, args.workers)
+    k_max = str(max(SHARD_COUNTS))
+    print(
+        f"[bench] sharding: K={k_max} exact"
+        f" {sharding['by_shard_count'][k_max]['exact_s']:.2f}s"
+        f" (equal: {sharding['by_shard_count'][k_max]['exact_equal']}),"
+        f" unsharded {sharding['unsharded_solve_s']:.2f}s,"
+        f" query p99 {sharding['queries']['lookup']['p99_us']:.0f}us",
+        flush=True,
+    )
+
     sweeps = [domains[d]["figure9_sweep"]["speedup"] for d in domains]
     compiles = [domains[d]["compile"]["speedup_warm"] for d in domains]
     summary = {
@@ -467,6 +591,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             domains[d]["parallel"]["figure9_sweep"]["batched_speedup"]
             for d in domains
         )
+    summary["sharding_exact_equal"] = all(
+        entry["exact_equal"] for entry in sharding["by_shard_count"].values()
+    )
+    summary["sharding_query_p99_us"] = sharding["queries"]["lookup"]["p99_us"]
     payload = {
         "scale": args.scale,
         "workers": args.workers,
@@ -475,6 +603,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "cpu_count": os.cpu_count(),
         "unix_time": time.time(),
         "domains": domains,
+        "sharding": sharding,
         "summary": summary,
     }
     with open(args.output, "w") as handle:

@@ -5,6 +5,8 @@ Usage::
     python -m repro.cli fuse claims.csv --method AccuSim -o result.json
     python -m repro.cli fuse claims.csv --method AccuCopy --gold gold.csv
     python -m repro.cli stream days/ --method AccuSim --output-dir out/
+    python -m repro.cli serve claims.csv --shards 4 --store store.json
+    python -m repro.cli query store.json --object o1 --attribute price
     python -m repro.cli export-demo stock claims.csv --gold gold.csv
     python -m repro.cli methods
 
@@ -12,7 +14,12 @@ Usage::
 round-trip can be exercised without private data.  ``stream`` tails a
 directory of daily claim CSVs (one snapshot per file, processed in sorted
 filename order) through warm fusion sessions, emitting each day's
-selections and trust as it lands.
+selections and trust as it lands.  ``serve`` fuses a claims CSV (optionally
+sharded by object across worker processes) — or streams a directory of
+daily CSVs through warm sessions — into a versioned
+:class:`~repro.serving.TruthStore` JSON file; ``query`` answers point
+lookups, ensemble answers, and trust reads from that file without
+re-solving anything.
 """
 
 from __future__ import annotations
@@ -175,6 +182,122 @@ def _stream_loop(args, directory, methods, runner, output_dir) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serving import TruthService, TruthStore
+
+    source = Path(args.source)
+    methods = args.method or ["AccuSim"]
+    kwargs = _method_kwargs(args)
+    store = TruthStore()
+
+    if source.is_dir():
+        # Incremental serve: every daily CSV becomes the next store version.
+        paths = sorted(source.glob("*.csv"))
+        if not paths:
+            print(f"no claim CSVs found in {source}", file=sys.stderr)
+            return 1
+        with TruthService(
+            methods,
+            {name: dict(kwargs) for name in methods} if kwargs else None,
+            workers=args.workers,
+            store=store,
+        ) as service:
+            for path in paths:
+                version = service.ingest(read_claims_csv(path))
+                store.save(args.store)
+                print(
+                    f"{store.day}: version {version}, "
+                    f"{store.n_items} items -> {args.store}",
+                    file=sys.stderr,
+                )
+    elif source.is_file():
+        dataset = read_claims_csv(source)
+        if args.shards > 1:
+            from repro.core.shard import ShardedCorpus, ShardPlan
+
+            corpus = ShardedCorpus(
+                dataset,
+                args.shards,
+                cross_shard="independent" if args.approximate else "exact",
+            )
+            plan = ShardPlan(
+                corpus, methods, {name: dict(kwargs) for name in methods}
+            )
+            store.publish_plan(plan.run(workers=args.workers))
+        else:
+            from repro.parallel import solve_methods
+
+            outcomes = solve_methods(
+                FusionProblem(dataset),
+                methods,
+                workers=args.workers,
+                method_kwargs={name: dict(kwargs) for name in methods},
+            )
+            store.publish(
+                dataset.day,
+                {name: o.result for name, o in zip(methods, outcomes)},
+            )
+        store.save(args.store)
+        print(
+            f"{store.day}: version {store.version}, {store.n_items} items, "
+            f"methods: {', '.join(store.methods)} -> {args.store}",
+            file=sys.stderr,
+        )
+    else:
+        print(f"{source} is neither a claims CSV nor a directory", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.serving import TruthStore
+
+    try:
+        store = TruthStore.load(args.store)
+    except (OSError, ValueError, KeyError) as error:
+        print(f"cannot read store {args.store}: {error}", file=sys.stderr)
+        return 2
+    snap = store.snapshot()
+    if args.trust:
+        if args.method is not None and args.method not in snap.methods:
+            print(f"method {args.method!r} is not published", file=sys.stderr)
+            return 1
+        value = store.trust(args.trust, method=args.method, snapshot=snap)
+        if value is None:
+            print(f"unknown source {args.trust!r}", file=sys.stderr)
+            return 1
+        print(f"{args.trust}\t{value:.6f}")
+        return 0
+    if args.object or args.attribute or args.ensemble:
+        if not (args.object and args.attribute):
+            print(
+                "query needs both --object and --attribute", file=sys.stderr
+            )
+            return 2
+        if args.ensemble:
+            answer = store.ensemble(args.object, args.attribute, snapshot=snap)
+        else:
+            answer = store.lookup(
+                args.object, args.attribute, method=args.method, snapshot=snap
+            )
+        if answer is None:
+            print(
+                f"no truth for ({args.object!r}, {args.attribute!r})",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"{answer.object_id}\t{answer.attribute}\t{answer.value}\t"
+            f"({answer.method}, version {answer.version}, day {answer.day})"
+        )
+        return 0
+    print(
+        f"store version {snap.version} (day {snap.day}): {snap.n_items} items, "
+        f"methods: {', '.join(snap.methods)}"
+    )
+    return 0
+
+
 def _cmd_export_demo(args: argparse.Namespace) -> int:
     if args.domain == "stock":
         from repro.datagen import StockConfig, generate_stock_collection
@@ -239,6 +362,46 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--workers", type=int, default=1,
                         help="solve each day's methods across this many workers")
     stream.set_defaults(func=_cmd_stream)
+
+    serve = sub.add_parser(
+        "serve",
+        help="fuse claims into a queryable truth-store JSON file",
+    )
+    serve.add_argument("source",
+                       help="claims CSV, or a directory of per-day CSVs "
+                            "(each day becomes the next store version)")
+    serve.add_argument("--method", action="append", choices=METHOD_NAMES,
+                       help="method(s) to publish (repeatable; default: AccuSim)")
+    serve.add_argument("--store", default="truth_store.json",
+                       help="output store path (default: truth_store.json)")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="shard the corpus by object key into K shards "
+                            "(CSV input only; default 1)")
+    serve.add_argument("--approximate", action="store_true",
+                       help="solve shards independently (shard-local trust "
+                            "and tolerances) instead of the exact merge")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="worker processes for the solves")
+    serve.add_argument("--max-rounds", type=int, default=None,
+                       help="cap on fixed-point rounds (method default: 60)")
+    serve.add_argument("--tolerance", type=float, default=None,
+                       help="L-inf trust convergence threshold (default 1e-5)")
+    serve.set_defaults(func=_cmd_serve)
+
+    query = sub.add_parser(
+        "query",
+        help="answer point lookups from a truth-store JSON file",
+    )
+    query.add_argument("store", help="store JSON written by `serve`")
+    query.add_argument("--object", help="object id to look up")
+    query.add_argument("--attribute", help="attribute to look up")
+    query.add_argument("--method", default=None,
+                       help="published method to read (default: first)")
+    query.add_argument("--ensemble", action="store_true",
+                       help="majority vote across all published methods")
+    query.add_argument("--trust", metavar="SOURCE",
+                       help="read a source's published trustworthiness")
+    query.set_defaults(func=_cmd_query)
 
     demo = sub.add_parser("export-demo", help="export a generated collection")
     demo.add_argument("domain", choices=("stock", "flight"))

@@ -22,6 +22,14 @@ from repro.core.gold import (
     coverage_of_source,
     recall_of_source,
 )
+from repro.core.shard import (
+    ShardedCorpus,
+    ShardPlan,
+    ShardPlanResult,
+    ShardSpec,
+    shard_of_object,
+    shard_problem,
+)
 from repro.core.records import (
     Claim,
     DataItem,
@@ -51,6 +59,12 @@ __all__ = [
     "DayStats",
     "SeriesCompiler",
     "splice_compiled",
+    "ShardedCorpus",
+    "ShardPlan",
+    "ShardPlanResult",
+    "ShardSpec",
+    "shard_of_object",
+    "shard_problem",
     "GoldStandard",
     "accuracy_of_source",
     "build_gold_standard",

@@ -561,7 +561,11 @@ class SeriesCompiler:
             )
         item_start = self._item_start()
         ins = item_start[item + 1]
-        order = np.argsort(ins, kind="stable")
+        # Same-position inserts must keep the store grouped by item code: a
+        # claim appended to the store's last item shares its insertion point
+        # with every brand-new item's first claim, so ties break by item
+        # (lexsort is stable, preserving arrival order within an item).
+        order = np.lexsort((item, ins))
         ins = ins[order]
         item, src = item[order], src[order]
         val, granc, keys = val[order], granc[order], keys[order]

@@ -1,0 +1,485 @@
+"""Sharded corpus compilation: partition one snapshot by object key.
+
+A production corpus does not fit one :class:`~repro.fusion.base.FusionProblem`:
+compilation and solving must scale out.  Because the Section 3.2 bucketing is
+independent across data items, a snapshot partitions cleanly **by object** —
+every ``(object, attribute)`` item lands in exactly one shard, each shard
+compiles independently (the parallelizable unit), and the per-shard compiled
+arrays merge back, segment by segment, into *exactly* the arrays a monolithic
+compile would have produced.
+
+Two quantities are *not* item-local, and they are what the cross-shard
+approximation knob governs:
+
+* **Equation-(3) tolerances** are per-attribute medians over the whole
+  snapshot.  ``cross_shard="exact"`` computes them once globally and hands
+  every shard the same array, so shard compiles — and the merged problem —
+  are bit-identical to the unsharded path.  ``cross_shard="independent"``
+  lets each shard use its own medians: no global pass, but bucketing near
+  shard-median boundaries can differ from the monolithic compile.
+* **Copy-detection overlap counts** (pairwise same-cluster / shared-item
+  counts) are sums over items, so per-shard counts *add up exactly*:
+  :meth:`ShardedCorpus.merged_problem` seeds the sum, while an
+  ``independent`` shard solve sees only shard-local overlap evidence (a
+  copier pair split across shards looks less dependent than it is).
+
+The scheduling unit is :class:`ShardSpec` — a compact, picklable description
+(``n_shards``, ``index``, assignment mode, tolerance scope) that a
+:class:`~repro.parallel.SolveScheduler` worker turns back into a compiled
+shard problem with :func:`shard_problem`, carving the shard from the one
+shared-memory export of the base problem.  :class:`ShardPlan` builds those
+jobs for a :class:`ShardedCorpus` and gathers per-shard (or merged-exact)
+:class:`~repro.fusion.base.FusionResult`\\ s for the serving layer
+(:mod:`repro.serving`).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.columnar import (
+    ColumnarView,
+    CompiledClusters,
+    compile_clusters,
+    compute_tolerances,
+)
+from repro.core.dataset import Dataset
+from repro.core.delta import _pair_counts, splice_compiled
+from repro.errors import ConfigError, FusionError
+
+__all__ = [
+    "ShardSpec",
+    "ShardedCorpus",
+    "ShardPlan",
+    "ShardPlanResult",
+    "shard_of_object",
+    "shard_problem",
+]
+
+ASSIGN_MODES = ("hash", "contiguous")
+CROSS_SHARD_MODES = ("exact", "independent")
+
+
+def shard_of_object(object_id: str, n_shards: int) -> int:
+    """Stable hash shard of one object key (crc32, process-independent)."""
+    return zlib.crc32(object_id.encode("utf-8")) % n_shards
+
+
+def _object_assignment(
+    object_ids: Sequence[str], n_shards: int, assign: str
+) -> Dict[str, int]:
+    """Shard index per distinct object id, deterministic across processes."""
+    distinct = sorted(set(object_ids))
+    if assign == "hash":
+        return {obj: shard_of_object(obj, n_shards) for obj in distinct}
+    if assign == "contiguous":
+        mapping: Dict[str, int] = {}
+        for index, chunk in enumerate(np.array_split(distinct, n_shards)):
+            for obj in chunk.tolist():
+                mapping[obj] = index
+        return mapping
+    raise ConfigError(f"unknown shard assignment {assign!r}; expected {ASSIGN_MODES}")
+
+
+def item_shard_codes(view: ColumnarView, n_shards: int, assign: str) -> np.ndarray:
+    """Shard index of every view item, by its object key."""
+    objects = [item.object_id for item in view.items]
+    mapping = _object_assignment(objects, n_shards, assign)
+    return np.asarray([mapping[obj] for obj in objects], dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """A compact, picklable recipe for carving one shard from a base problem.
+
+    Workers recompute the (deterministic) object assignment from the shared
+    view instead of receiving object lists, so a shard job costs a few bytes
+    on the wire regardless of corpus size.  ``tolerance_scope`` is
+    ``"global"`` (reuse the base problem's Equation-3 tolerances — the exact
+    mode) or ``"shard"`` (per-shard medians — the independent approximation).
+    """
+
+    n_shards: int
+    index: int
+    assign: str = "hash"
+    tolerance_scope: str = "global"
+
+
+def shard_problem(problem, spec: ShardSpec):
+    """Compile one shard of a columnar-compiled problem (worker entry point).
+
+    Bit-identical to compiling the shard's claims monolithically: the claim
+    mask selects the shard's items, tolerances come from the spec's scope,
+    and the full source universe is kept (a shard with no claims from some
+    source still carries its trust row, exactly like a delta-compiled day).
+    With ``n_shards=1`` the result is indistinguishable from ``problem``.
+    """
+    from repro.fusion.base import FusionProblem
+
+    view = problem._view
+    if view is None:
+        raise FusionError("shard_problem requires a columnar-compiled problem")
+    if not 0 <= spec.index < spec.n_shards:
+        raise ConfigError(f"shard index {spec.index} out of range of {spec.n_shards}")
+    codes = item_shard_codes(view, spec.n_shards, spec.assign)
+    mask = codes[view.claim_item] == spec.index
+    if problem._claim_mask is not None:
+        mask &= problem._claim_mask
+    if not mask.any():
+        raise FusionError(f"shard {spec.index}/{spec.n_shards} has no claims")
+    full = problem._claim_mask is None and bool(mask.all())
+    if spec.tolerance_scope == "global":
+        attr_tol = problem._attr_tol
+    elif spec.tolerance_scope == "shard":
+        attr_tol = compute_tolerances(view, None if full else mask)
+    else:
+        raise ConfigError(f"unknown tolerance scope {spec.tolerance_scope!r}")
+    compiled = compile_clusters(view, attr_tol, None if full else mask)
+    return FusionProblem.from_compiled(
+        view=view,
+        compiled=compiled,
+        sources=list(problem.sources),
+        source_codes=problem._source_codes,
+        attr_tol=attr_tol,
+        claim_mask=None if full else mask,
+    )
+
+
+class ShardedCorpus:
+    """A snapshot partitioned by object key into K independent shards.
+
+    The corpus owns the snapshot's shared columnar view plus one boolean
+    claim mask per shard; per-shard tolerances, compiled clusters, fusion
+    problems, and copy-detection counts are computed lazily and cached.
+    ``cross_shard`` is the documented approximation knob (module docstring):
+    ``"exact"`` shares global tolerances so :meth:`merged_problem` equals
+    the unsharded compile bit for bit; ``"independent"`` keeps every pass
+    shard-local and forgoes the merged problem.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        n_shards: int,
+        assign: str = "hash",
+        cross_shard: str = "exact",
+    ):
+        if n_shards < 1:
+            raise ConfigError(f"n_shards must be >= 1, got {n_shards}")
+        if assign not in ASSIGN_MODES:
+            raise ConfigError(f"unknown shard assignment {assign!r}")
+        if cross_shard not in CROSS_SHARD_MODES:
+            raise ConfigError(
+                f"cross_shard must be one of {CROSS_SHARD_MODES}, got {cross_shard!r}"
+            )
+        self.dataset = dataset
+        self.n_shards = int(n_shards)
+        self.assign = assign
+        self.cross_shard = cross_shard
+        self.view = dataset.columnar
+        self.item_codes = item_shard_codes(self.view, self.n_shards, assign)
+        self._claim_codes = self.item_codes[self.view.claim_item]
+        self._global_tol: Optional[np.ndarray] = None
+        self._tols: Dict[int, np.ndarray] = {}
+        self._compiled: Dict[int, CompiledClusters] = {}
+        self._problems: Dict[int, object] = {}
+        self._counts: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        self._merged = None
+        self._base = None
+
+    # ------------------------------------------------------------- geometry
+    @property
+    def tolerance_scope(self) -> str:
+        return "global" if self.cross_shard == "exact" else "shard"
+
+    @property
+    def exact(self) -> bool:
+        return self.cross_shard == "exact"
+
+    def spec(self, index: int) -> ShardSpec:
+        return ShardSpec(
+            n_shards=self.n_shards,
+            index=index,
+            assign=self.assign,
+            tolerance_scope=self.tolerance_scope,
+        )
+
+    def mask(self, index: int) -> np.ndarray:
+        return self._claim_codes == index
+
+    def claim_count(self, index: int) -> int:
+        return int((self._claim_codes == index).sum())
+
+    @property
+    def shards(self) -> List[int]:
+        """Indices of the shards that actually hold claims."""
+        present = np.unique(self._claim_codes)
+        return [int(i) for i in present]
+
+    def source_claim_counts(self, index: int) -> Dict[str, float]:
+        """Claims per source inside one shard (trust-merge weights)."""
+        counts = np.bincount(
+            self.view.claim_source[self.mask(index)],
+            minlength=self.view.n_sources,
+        )
+        return {
+            source: float(counts[code])
+            for code, source in enumerate(self.view.sources)
+        }
+
+    # ----------------------------------------------------------- compilation
+    def global_tolerances(self) -> np.ndarray:
+        if self._global_tol is None:
+            self._global_tol = self.dataset._tolerance_array()
+        return self._global_tol
+
+    def tolerances(self, index: int) -> np.ndarray:
+        if index not in self._tols:
+            if self.tolerance_scope == "global":
+                self._tols[index] = self.global_tolerances()
+            else:
+                self._tols[index] = compute_tolerances(self.view, self.mask(index))
+        return self._tols[index]
+
+    def compile_shard(self, index: int) -> CompiledClusters:
+        """The shard's Section-3.2 bucketing (cached)."""
+        if index not in self._compiled:
+            self._compiled[index] = compile_clusters(
+                self.view, self.tolerances(index), self.mask(index)
+            )
+        return self._compiled[index]
+
+    def problem(self, index: int):
+        """The shard compiled as an independent fusion problem (cached).
+
+        Every shard keeps the full source universe, so per-shard trust
+        vectors are comparable and the K=1 shard is field-for-field the
+        unsharded :class:`~repro.fusion.base.FusionProblem`.
+        """
+        if index not in self._problems:
+            from repro.fusion.base import FusionProblem
+
+            mask = self.mask(index)
+            if not mask.any():
+                raise FusionError(f"shard {index}/{self.n_shards} has no claims")
+            full = bool(mask.all())
+            self._problems[index] = FusionProblem.from_compiled(
+                view=self.view,
+                compiled=self.compile_shard(index),
+                sources=list(self.view.sources),
+                source_codes=np.arange(self.view.n_sources, dtype=np.int64),
+                attr_tol=self.tolerances(index),
+                claim_mask=None if full else mask,
+            )
+        return self._problems[index]
+
+    def copy_counts(self, index: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-shard pairwise (same-cluster, shared-item) counts.
+
+        Both counts are sums over items, so across shards they add up to
+        exactly the monolithic counts — :meth:`merged_problem` relies on it.
+        """
+        if index not in self._counts:
+            compiled = self.compile_shard(index)
+            items = compiled.item_index[compiled.cluster_item[compiled.claim_cluster]]
+            n = self.view.n_sources
+            self._counts[index] = (
+                _pair_counts(compiled.claim_source, compiled.claim_cluster, n),
+                _pair_counts(compiled.claim_source, items, n),
+            )
+        return self._counts[index]
+
+    # ------------------------------------------------------------- the merge
+    def merged_compiled(self) -> CompiledClusters:
+        """All shard compilations merged back into snapshot item order.
+
+        Items are disjoint across shards and the clustering kernel treats
+        them independently, so splicing the shard segments together in item
+        order reproduces the monolithic ``compile_clusters`` output exactly
+        (the equivalence suite pins every array).
+        """
+        shards = self.shards
+        merged = self.compile_shard(shards[0])
+        n_view_items = len(self.view.items)
+        for index in shards[1:]:
+            part = self.compile_shard(index)
+            dirty = np.zeros(n_view_items, dtype=bool)
+            dirty[part.item_index] = True
+            merged = splice_compiled(merged, part, dirty)
+        return merged
+
+    def base_problem(self):
+        """The unsharded problem of the snapshot (cached; the K=1 baseline)."""
+        if self._base is None:
+            from repro.fusion.base import FusionProblem
+
+            self._base = FusionProblem(self.dataset)
+        return self._base
+
+    def merged_problem(self, with_copy: bool = False):
+        """The shard compilations merged into one global problem.
+
+        Requires ``cross_shard="exact"`` — with shard-local tolerances the
+        merge would mix incompatible bucketings.  ``with_copy`` seeds the
+        problem with the sum of the per-shard overlap counts instead of
+        recomputing the sparse products over the whole corpus.
+        """
+        if not self.exact:
+            raise FusionError(
+                "merged_problem requires cross_shard='exact' "
+                "(shard-local tolerances do not merge)"
+            )
+        if self._merged is None:
+            from repro.fusion.base import FusionProblem
+
+            self._merged = FusionProblem.from_compiled(
+                view=self.view,
+                compiled=self.merged_compiled(),
+                sources=list(self.view.sources),
+                source_codes=np.arange(self.view.n_sources, dtype=np.int64),
+                attr_tol=self.global_tolerances(),
+                claim_mask=None,
+            )
+        if with_copy and self._merged._copy_seed is None:
+            same = np.zeros((self.view.n_sources,) * 2, dtype=np.float64)
+            shared = np.zeros_like(same)
+            for index in self.shards:
+                shard_same, shard_shared = self.copy_counts(index)
+                same += shard_same
+                shared += shard_shared
+            self._merged.seed_copy_counts(same, shared)
+        return self._merged
+
+
+# --------------------------------------------------------------------------
+# Scheduling shard solves
+# --------------------------------------------------------------------------
+
+@dataclass
+class ShardPlanResult:
+    """Outcome of one :meth:`ShardPlan.run`, ready for the serving layer.
+
+    ``results`` is set in exact mode (one global result per method);
+    ``shard_results`` in independent mode (shard-major, one result dict per
+    live shard, aligned with ``shard_ids``), together with per-shard
+    per-source claim counts for trust merging.
+    """
+
+    mode: str
+    day: str
+    methods: List[str]
+    results: Optional[Dict[str, object]] = None
+    shard_results: Optional[List[Dict[str, object]]] = None
+    shard_ids: Optional[List[int]] = None
+    source_weights: Optional[List[Dict[str, float]]] = None
+    seconds: float = 0.0
+
+
+class ShardPlan:
+    """Per-shard compile+solve of a corpus as a plan on the solve scheduler.
+
+    In **exact** mode (corpus ``cross_shard="exact"``) the shards' compiled
+    arrays merge into the global problem and the methods fan out across the
+    pool as ordinary method jobs — answers are bit-identical to solving the
+    unsharded snapshot.  In **independent** mode the base problem is
+    exported once and every live shard becomes one
+    :class:`~repro.parallel.SolveJob` carrying its :class:`ShardSpec`: the
+    worker compiles the shard from the shared view and solves every method
+    on it, K-way parallel, with shard-local trust and copy evidence.
+    """
+
+    def __init__(
+        self,
+        corpus: ShardedCorpus,
+        methods: Sequence[str],
+        method_kwargs: Optional[Dict[str, dict]] = None,
+    ):
+        self.corpus = corpus
+        self.methods = list(methods)
+        self.method_kwargs = {
+            name: dict((method_kwargs or {}).get(name, {})) for name in self.methods
+        }
+
+    def _uses_copy(self) -> bool:
+        from repro.parallel import MethodCall, _uses_copy_detection
+
+        return _uses_copy_detection([
+            MethodCall(name, kwargs=self.method_kwargs[name])
+            for name in self.methods
+        ])
+
+    def run(self, scheduler=None, workers: int = 0) -> ShardPlanResult:
+        """Execute the plan (serially without a scheduler/workers)."""
+        import time as _time
+
+        from repro.parallel import MethodCall, SolveJob, SolveScheduler, solve_methods
+
+        corpus = self.corpus
+        day = corpus.dataset.day
+        started = _time.perf_counter()
+        if corpus.exact:
+            merged = corpus.merged_problem(with_copy=self._uses_copy())
+            outcomes = solve_methods(
+                merged,
+                self.methods,
+                scheduler=scheduler,
+                workers=workers,
+                method_kwargs=self.method_kwargs,
+            )
+            return ShardPlanResult(
+                mode="exact",
+                day=day,
+                methods=self.methods,
+                results={
+                    name: outcome.result
+                    for name, outcome in zip(self.methods, outcomes)
+                },
+                seconds=_time.perf_counter() - started,
+            )
+
+        shard_ids = corpus.shards
+        own: Optional[SolveScheduler] = None
+        sched = scheduler
+        if sched is None:
+            sched = own = SolveScheduler(workers=workers)
+        try:
+            # Shard workers rebuild shard-local copy structures themselves,
+            # so the export never ships the global overlap counts.
+            key = sched.register(None, corpus.base_problem())
+            jobs = [
+                SolveJob(
+                    problem=key,
+                    calls=[
+                        MethodCall(name, kwargs=self.method_kwargs[name])
+                        for name in self.methods
+                    ],
+                    shard=corpus.spec(index),
+                    tag=index,
+                )
+                for index in shard_ids
+            ]
+            outcomes = sched.run(jobs)
+        finally:
+            if own is not None:
+                own.close()
+        return ShardPlanResult(
+            mode="independent",
+            day=day,
+            methods=self.methods,
+            shard_results=[
+                {
+                    name: call.result
+                    for name, call in zip(self.methods, outcome.calls)
+                }
+                for outcome in outcomes
+            ],
+            shard_ids=list(shard_ids),
+            source_weights=[
+                corpus.source_claim_counts(index) for index in shard_ids
+            ],
+            seconds=_time.perf_counter() - started,
+        )

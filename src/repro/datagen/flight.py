@@ -260,6 +260,17 @@ class FlightConfig:
     def tiny(cls, seed: int = 15) -> "FlightConfig":
         return cls(n_objects=40, num_days=3, n_gold_objects=25, seed=seed)
 
+    @classmethod
+    def large_corpus(cls, seed: int = 15, n_objects: int = 1500) -> "FlightConfig":
+        """A wide, shallow corpus: many flights, two days — the sharding
+        workload (items dominate, so K >> 1 object shards stay balanced)."""
+        return cls(
+            n_objects=n_objects,
+            num_days=2,
+            n_gold_objects=min(200, n_objects),
+            seed=seed,
+        )
+
     def day_labels(self) -> Tuple[str, ...]:
         if self.num_days > len(FLIGHT_DAY_LABELS):
             raise ConfigError(

@@ -326,6 +326,18 @@ class StockConfig:
         return cls(n_objects=30, num_days=3, n_gold_objects=20,
                    n_terminated=2, seed=seed)
 
+    @classmethod
+    def large_corpus(cls, seed: int = 6, n_objects: int = 1500) -> "StockConfig":
+        """A wide, shallow corpus: many objects, two days — the sharding
+        workload (items dominate, so K >> 1 object shards stay balanced)."""
+        return cls(
+            n_objects=n_objects,
+            num_days=2,
+            n_gold_objects=min(200, n_objects),
+            n_terminated=max(2, n_objects // 150),
+            seed=seed,
+        )
+
     def day_labels(self) -> Tuple[str, ...]:
         if self.num_days > len(STOCK_DAY_LABELS):
             raise ConfigError(

@@ -249,6 +249,26 @@ class FusionProblem:
         )
         return problem
 
+    def compiled_clusters(self) -> CompiledClusters:
+        """This problem's compiled arrays, repackaged as a kernel result.
+
+        The inverse of :meth:`from_compiled` (claim sources are mapped back
+        to view-global codes); used wherever a later compile wants to splice
+        against this one — the nested-prefix sweep compiler, shard merging.
+        """
+        return CompiledClusters(
+            item_index=self._item_index,
+            item_attr=self.item_attr,
+            item_start=self.item_start,
+            cluster_item=self.cluster_item,
+            cluster_value=self._cluster_value_code,
+            cluster_support=self.cluster_support,
+            claim_source=self._source_codes[self.claim_source],
+            claim_cluster=self.claim_cluster,
+            claim_value=self._claim_value_code,
+            claim_granularity=self._claim_granularity,
+        )
+
     def values_match(self, attribute: str, a: Value, b: Value) -> bool:
         """Tolerance-aware value equality under this problem's tolerances.
 

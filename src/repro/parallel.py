@@ -44,6 +44,7 @@ import numpy as np
 
 from repro.core.columnar import ColumnarView, CompiledClusters
 from repro.core.gold import GoldStandard
+from repro.core.shard import ShardSpec, shard_problem
 from repro.core.shm import (
     AttachedBundle,
     BundleDescriptor,
@@ -95,8 +96,11 @@ class SolveJob:
     """One schedulable unit: method calls against one registered problem.
 
     ``sources`` restricts the problem (the worker carves the restriction
-    from the shared view); ``subsets`` turns the job into a batched sweep —
-    every call runs on every subset through
+    from the shared view); ``shard`` carves an object-sharded sub-corpus the
+    same way (:func:`repro.core.shard.shard_problem` — the worker recompiles
+    the shard from the shared view, so a shard job ships only the
+    :class:`~repro.core.shard.ShardSpec`); ``subsets`` turns the job into a
+    batched sweep — every call runs on every subset through
     :func:`repro.fusion.batch.solve_restrictions`.  ``raw=True`` returns
     trust/selection arrays instead of packaged results (the streaming
     protocol).  ``evaluate`` scores outcomes against the problem's
@@ -106,6 +110,7 @@ class SolveJob:
     problem: str
     calls: List[MethodCall]
     sources: Optional[List[str]] = None
+    shard: Optional[ShardSpec] = None
     subsets: Optional[List[List[str]]] = None
     batched: bool = True
     raw: bool = False
@@ -402,11 +407,13 @@ def _execute_sweep(
 def _execute_job(
     problem: FusionProblem, gold: Optional[GoldStandard], job: SolveJob
 ) -> JobOutcome:
-    if job.subsets is not None:
-        return _execute_sweep(problem, gold, job)
     target = problem
+    if job.shard is not None:
+        target = shard_problem(target, job.shard)
+    if job.subsets is not None:
+        return _execute_sweep(target, gold, job)
     if job.sources is not None:
-        target = problem.restrict_sources(job.sources)
+        target = target.restrict_sources(job.sources)
     outcomes = []
     for call in job.calls:
         outcome = _run_call(target, call, job.raw)

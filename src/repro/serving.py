@@ -1,0 +1,376 @@
+"""The queryable truth-serving layer: versioned stores over fused truths.
+
+Fusing a corpus answers *every* item at once, but serving traffic asks for
+one ``(object, attribute)`` at a time and cannot wait for a solve.  This
+module is the read path:
+
+* :class:`TruthStore` — an immutable-snapshot, versioned store of fused
+  truths.  Writers build a complete new :class:`StoreSnapshot` and swap it
+  in atomically (one reference assignment under a lock), so readers —
+  which never lock — can never observe a torn version: every answer they
+  compute comes from exactly one published snapshot and carries its
+  version.  Queries are point lookups by ``(object, attribute)`` (per
+  method or the store's default), per-source trust reads, and
+  method-ensemble answers (majority vote across the published methods).
+  Publishing accepts a plain ``{method: FusionResult}`` mapping, a
+  :class:`~repro.streaming.StreamStep` (the incremental path: each
+  :class:`~repro.streaming.StreamRunner` day is delta-compiled by the
+  series compiler and republished here), or the per-shard results of a
+  :class:`~repro.core.shard.ShardPlan` — independent shards partition the
+  items, and their per-source trust merges by claim-weighted mean.
+* :class:`TruthService` — glue that owns a :class:`StreamRunner` and a
+  store: ``ingest(dataset)`` / ``apply(delta)`` advance the runner's warm
+  sessions one day and publish the day's results as the next store version.
+
+Stores serialize to JSON (:meth:`TruthStore.save` / :meth:`TruthStore.load`)
+so ``cli serve`` can solve once and ``cli query`` can answer point lookups
+from the file without ever re-solving.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.records import DataItem, Value
+from repro.errors import FusionError
+from repro.io import PathLike, _decode_value, _encode_value
+
+__all__ = ["TruthAnswer", "StoreSnapshot", "TruthStore", "TruthService"]
+
+ItemKey = Tuple[str, str]  # (object_id, attribute)
+
+
+@dataclass(frozen=True)
+class TruthAnswer:
+    """One point-query answer, stamped with the snapshot it came from."""
+
+    object_id: str
+    attribute: str
+    value: Value
+    method: str
+    version: int
+    day: Optional[str]
+
+
+@dataclass(frozen=True)
+class StoreSnapshot:
+    """One immutable published version of the store.
+
+    ``truths`` maps ``(object_id, attribute)`` to the per-method selected
+    values; ``trust`` maps method -> source -> trustworthiness.  Snapshots
+    are never mutated after publication — readers holding one can issue any
+    number of internally-consistent queries against it.
+    """
+
+    version: int
+    day: Optional[str] = None
+    methods: Tuple[str, ...] = ()
+    truths: Dict[ItemKey, Dict[str, Value]] = field(default_factory=dict)
+    trust: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    @property
+    def n_items(self) -> int:
+        return len(self.truths)
+
+
+class TruthStore:
+    """A versioned, queryable store of fused truths (see module docstring)."""
+
+    def __init__(self):
+        self._snapshot = StoreSnapshot(version=0)
+        self._lock = threading.Lock()
+
+    # ---------------------------------------------------------------- reads
+    def snapshot(self) -> StoreSnapshot:
+        """The current published snapshot (grab once for multi-read queries)."""
+        return self._snapshot
+
+    @property
+    def version(self) -> int:
+        return self._snapshot.version
+
+    @property
+    def day(self) -> Optional[str]:
+        return self._snapshot.day
+
+    @property
+    def methods(self) -> Tuple[str, ...]:
+        return self._snapshot.methods
+
+    @property
+    def n_items(self) -> int:
+        return self._snapshot.n_items
+
+    def lookup(
+        self,
+        object_id: str,
+        attribute: str,
+        method: Optional[str] = None,
+        snapshot: Optional[StoreSnapshot] = None,
+    ) -> Optional[TruthAnswer]:
+        """The fused truth of one data item (``None`` if unknown).
+
+        ``method`` defaults to the first published method.  Pass a
+        ``snapshot`` (from :meth:`snapshot`) to pin several lookups to one
+        version.
+        """
+        snap = snapshot if snapshot is not None else self._snapshot
+        values = snap.truths.get((object_id, attribute))
+        if values is None:
+            return None
+        if method is None:
+            method = snap.methods[0] if snap.methods else None
+        if method is None or method not in values:
+            return None
+        return TruthAnswer(
+            object_id=object_id,
+            attribute=attribute,
+            value=values[method],
+            method=method,
+            version=snap.version,
+            day=snap.day,
+        )
+
+    def ensemble(
+        self,
+        object_id: str,
+        attribute: str,
+        snapshot: Optional[StoreSnapshot] = None,
+    ) -> Optional[TruthAnswer]:
+        """Majority vote across the published methods' answers.
+
+        Values are pooled by exact equality (method selections share the
+        cluster representatives, so agreeing methods agree exactly); ties
+        break toward the earliest method in publish order.
+        """
+        snap = snapshot if snapshot is not None else self._snapshot
+        values = snap.truths.get((object_id, attribute))
+        if not values:
+            return None
+        candidates: List[Tuple[Value, int, int]] = []  # value, votes, first order
+        for order, method in enumerate(snap.methods):
+            value = values.get(method)
+            if value is None:
+                continue
+            for i, (existing, votes, first) in enumerate(candidates):
+                if existing == value:
+                    candidates[i] = (existing, votes + 1, first)
+                    break
+            else:
+                candidates.append((value, 1, order))
+        if not candidates:
+            return None
+        best = min(candidates, key=lambda c: (-c[1], c[2]))
+        return TruthAnswer(
+            object_id=object_id,
+            attribute=attribute,
+            value=best[0],
+            method="Ensemble",
+            version=snap.version,
+            day=snap.day,
+        )
+
+    def trust(
+        self,
+        source_id: str,
+        method: Optional[str] = None,
+        snapshot: Optional[StoreSnapshot] = None,
+    ) -> Optional[float]:
+        """The published trustworthiness of one source (``None`` if unknown)."""
+        snap = snapshot if snapshot is not None else self._snapshot
+        if method is None:
+            method = snap.methods[0] if snap.methods else None
+        if method is None:
+            return None
+        return snap.trust.get(method, {}).get(source_id)
+
+    # --------------------------------------------------------------- writes
+    def _swap(
+        self,
+        day: Optional[str],
+        methods: Sequence[str],
+        truths: Dict[ItemKey, Dict[str, Value]],
+        trust: Dict[str, Dict[str, float]],
+    ) -> int:
+        with self._lock:
+            snapshot = StoreSnapshot(
+                version=self._snapshot.version + 1,
+                day=day,
+                methods=tuple(methods),
+                truths=truths,
+                trust=trust,
+            )
+            self._snapshot = snapshot
+            return snapshot.version
+
+    def publish(self, day: Optional[str], results: Dict[str, object]) -> int:
+        """Publish one day's ``{method: FusionResult}``; returns the version."""
+        if not results:
+            raise FusionError("publish needs at least one method result")
+        methods = list(results)
+        truths: Dict[ItemKey, Dict[str, Value]] = {}
+        trust: Dict[str, Dict[str, float]] = {}
+        for method in methods:
+            result = results[method]
+            for item, value in result.selected.items():
+                truths.setdefault((item.object_id, item.attribute), {})[method] = value
+            trust[method] = dict(result.trust)
+        return self._swap(day, methods, truths, trust)
+
+    def publish_shards(
+        self,
+        day: Optional[str],
+        shard_results: Sequence[Dict[str, object]],
+        source_weights: Optional[Sequence[Dict[str, float]]] = None,
+    ) -> int:
+        """Merge per-shard ``{method: FusionResult}`` dicts into one version.
+
+        Shards partition the items, so their truths union disjointly.  Per
+        -source trust is merged by weighted mean across the shards —
+        ``source_weights[i][source]`` is the shard's evidence mass for the
+        source (claim counts from :class:`~repro.core.shard.ShardedCorpus`);
+        without weights every shard's estimate counts equally.
+        """
+        if not shard_results:
+            raise FusionError("publish_shards needs at least one shard")
+        methods = list(shard_results[0])
+        truths: Dict[ItemKey, Dict[str, Value]] = {}
+        trust: Dict[str, Dict[str, float]] = {}
+        for method in methods:
+            weighted: Dict[str, float] = {}
+            weight_sum: Dict[str, float] = {}
+            plain_sum: Dict[str, float] = {}
+            plain_n: Dict[str, int] = {}
+            for index, results in enumerate(shard_results):
+                result = results[method]
+                for item, value in result.selected.items():
+                    key = (item.object_id, item.attribute)
+                    truths.setdefault(key, {})[method] = value
+                for source_id, value in result.trust.items():
+                    weight = 1.0
+                    if source_weights is not None:
+                        weight = float(source_weights[index].get(source_id, 0.0))
+                    weighted[source_id] = weighted.get(source_id, 0.0) + weight * value
+                    weight_sum[source_id] = weight_sum.get(source_id, 0.0) + weight
+                    plain_sum[source_id] = plain_sum.get(source_id, 0.0) + value
+                    plain_n[source_id] = plain_n.get(source_id, 0) + 1
+            trust[method] = {
+                source_id: (
+                    weighted[source_id] / weight_sum[source_id]
+                    if weight_sum[source_id] > 0
+                    else plain_sum[source_id] / plain_n[source_id]
+                )
+                for source_id in weighted
+            }
+        return self._swap(day, methods, truths, trust)
+
+    def publish_step(self, step) -> int:
+        """Publish one :class:`~repro.streaming.StreamStep` (incremental path)."""
+        return self.publish(step.day, step.results)
+
+    def publish_plan(self, plan_result) -> int:
+        """Publish a :class:`~repro.core.shard.ShardPlanResult` (either mode)."""
+        if plan_result.mode == "exact":
+            return self.publish(plan_result.day, plan_result.results)
+        return self.publish_shards(
+            plan_result.day,
+            plan_result.shard_results,
+            source_weights=plan_result.source_weights,
+        )
+
+    # -------------------------------------------------------------- persist
+    def save(self, path: PathLike) -> None:
+        """Serialize the current snapshot to JSON (the ``cli serve`` output)."""
+        snap = self._snapshot
+        payload = {
+            "version": snap.version,
+            "day": snap.day,
+            "methods": list(snap.methods),
+            "truths": [
+                {
+                    "object": object_id,
+                    "attribute": attribute,
+                    "values": {
+                        method: _encode_value(value)
+                        for method, value in values.items()
+                    },
+                }
+                for (object_id, attribute), values in sorted(snap.truths.items())
+            ],
+            "trust": snap.trust,
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+
+    @classmethod
+    def load(cls, path: PathLike) -> "TruthStore":
+        """Load a store written by :meth:`save`; queries need no solver."""
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        store = cls()
+        truths: Dict[ItemKey, Dict[str, Value]] = {}
+        for entry in payload["truths"]:
+            truths[(entry["object"], entry["attribute"])] = {
+                method: _decode_value(text)
+                for method, text in entry["values"].items()
+            }
+        store._snapshot = StoreSnapshot(
+            version=int(payload["version"]),
+            day=payload.get("day"),
+            methods=tuple(payload["methods"]),
+            truths=truths,
+            trust={
+                method: dict(by_source)
+                for method, by_source in payload["trust"].items()
+            },
+        )
+        return store
+
+
+class TruthService:
+    """A stream of daily snapshots/deltas kept queryable through a store.
+
+    One :class:`~repro.streaming.StreamRunner` (shared delta compiler, warm
+    per-method sessions, optional worker pool) feeds one
+    :class:`TruthStore`: every ingested day becomes the next store version,
+    so reads stay consistent while the solve of the following day runs.
+    """
+
+    def __init__(
+        self,
+        method_names: Sequence[str],
+        method_kwargs: Optional[Dict[str, dict]] = None,
+        *,
+        warm_start: bool = True,
+        workers: int = 0,
+        store: Optional[TruthStore] = None,
+    ):
+        from repro.streaming import StreamRunner
+
+        self.runner = StreamRunner(
+            method_names,
+            method_kwargs,
+            warm_start=warm_start,
+            workers=workers,
+        )
+        self.store = store if store is not None else TruthStore()
+
+    def ingest(self, dataset) -> int:
+        """Fuse one full daily snapshot and publish it; returns the version."""
+        return self.store.publish_step(self.runner.push(dataset))
+
+    def apply(self, delta) -> int:
+        """Apply one :class:`~repro.core.delta.ClaimDelta` and publish it."""
+        return self.store.publish_step(self.runner.push_delta(delta))
+
+    def close(self) -> None:
+        self.runner.close()
+
+    def __enter__(self) -> "TruthService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.core.dataset import Dataset
 from repro.core.delta import ClaimDelta, SeriesCompiler, splice_compiled
@@ -10,6 +12,7 @@ from repro.errors import SchemaError
 from repro.fusion.base import FusionProblem
 from repro.fusion.registry import make_method
 
+from tests.core.test_shard_properties import claim_tables, value_for
 from tests.helpers import build_dataset
 
 METHODS = ("Vote", "AccuSim", "2-Estimates", "TruthFinder")
@@ -167,6 +170,73 @@ class TestApplyDelta:
         )
         with pytest.raises(SchemaError):
             compiler.apply_delta(delta)
+
+
+def _delta_days():
+    """Random day-over-day change sets: adds (≥1/day) and retractions."""
+    cell = st.tuples(
+        st.sampled_from(("s1", "s2", "s3", "s4", "s9")),
+        st.sampled_from(("o1", "o2", "o3", "o4", "o5", "o6")),
+        st.sampled_from(("price", "volume", "gate")),
+    )
+    day = st.tuples(
+        st.dictionaries(cell, st.integers(0, 100), min_size=1, max_size=8),
+        st.lists(cell, max_size=5),
+    )
+    return st.lists(day, min_size=1, max_size=4)
+
+
+class TestDeltaProperties:
+    """Random worlds + random ``ClaimDelta`` sequences == cold recompiles."""
+
+    @given(table=claim_tables(min_size=3), days=_delta_days())
+    @settings(
+        max_examples=30, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_random_delta_sequences_match_cold_recompiles(self, table, days):
+        base = build_dataset(table)
+        compiler = SeriesCompiler()
+        compiler.ingest(base)
+        claims = {}
+        for item, source_id, claim in base.iter_claims():
+            claims[(source_id, item)] = claim
+        metas = {source_id: meta for source_id, meta in base.sources.items()}
+
+        for index, (adds, retracts) in enumerate(days):
+            new_sources = []
+            for source_id, _obj, _attr in adds:
+                if source_id not in metas:
+                    meta = SourceMeta(source_id)
+                    metas[source_id] = meta
+                    new_sources.append(meta)
+            added = []
+            for (source_id, obj, attr), pick in adds.items():
+                claim = Claim(value=value_for(attr, pick))
+                added.append((source_id, DataItem(obj, attr), claim))
+            retracted = [
+                (source_id, DataItem(obj, attr))
+                for source_id, obj, attr in retracts
+                if source_id in metas
+            ]
+            delta = ClaimDelta(
+                day=f"d{index + 1}",
+                added=tuple(added),
+                retracted=tuple(retracted),
+                new_sources=tuple(new_sources),
+            )
+            # Reference semantics: retractions empty their cells, then adds
+            # (re)fill theirs — exactly apply_delta's masking order.
+            for source_id, item in retracted:
+                claims.pop((source_id, item), None)
+            for source_id, item, claim in added:
+                claims[(source_id, item)] = claim
+
+            day = compiler.apply_delta(delta)
+            reference = materialize(
+                base, list(metas.values()), claims, delta.day
+            )
+            assert_problems_equivalent(day, reference, methods=("Vote", "AccuSim"))
 
 
 class TestCopyCountTracking:

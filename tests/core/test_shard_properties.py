@@ -1,0 +1,188 @@
+"""Property-based invariants of the sharding layer (and its exact merge).
+
+Random small worlds drive the two hard guarantees:
+
+* the per-shard compilations of a :class:`ShardedCorpus` in exact mode
+  merge back **bit for bit** into the monolithic compile, for any shard
+  count and either assignment mode;
+* a K=1 shard — and the exact K-shard plan — solves every one of the
+  sixteen registered methods identically to the unsharded path.
+
+The strategies here (``claim_tables``, ``value_for``) are shared with the
+delta-compiler properties in ``tests/core/test_delta.py``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.shard import ShardedCorpus, ShardPlan, shard_problem
+from repro.errors import ConfigError, FusionError
+from repro.fusion.base import FusionProblem
+from repro.fusion.registry import METHOD_NAMES, make_method
+
+from tests.helpers import build_dataset
+
+SOURCES = ("s1", "s2", "s3", "s4")
+OBJECTS = ("o1", "o2", "o3", "o4", "o5")
+ATTRS = ("price", "volume", "gate")
+NUMERIC_VALUES = (1.0, 2.0, 5.0, 9.5, 10.0, 10.25, 11.0, 77.0, 100.0)
+STRING_VALUES = ("A1", "A2", "B7", "C3")
+
+#: The arrays whose bitwise equality pins two problems as interchangeable.
+PROBLEM_ARRAYS = (
+    "item_start", "cluster_item", "cluster_support", "claim_source",
+    "claim_cluster", "_cluster_value_code", "_claim_value_code",
+    "_item_index", "_attr_tol", "_claim_granularity",
+)
+
+
+def value_for(attribute: str, pick: int):
+    """Map a hypothesis integer onto a type-correct value for an attribute."""
+    if attribute == "gate":
+        return STRING_VALUES[pick % len(STRING_VALUES)]
+    return NUMERIC_VALUES[pick % len(NUMERIC_VALUES)]
+
+
+def claim_tables(min_size: int = 2, max_size: int = 30):
+    """Random ``{(source, object, attribute): value}`` claim tables."""
+    cell = st.tuples(
+        st.sampled_from(SOURCES),
+        st.sampled_from(OBJECTS),
+        st.sampled_from(ATTRS),
+    )
+    return st.dictionaries(
+        cell, st.integers(0, 100), min_size=min_size, max_size=max_size
+    ).map(
+        lambda picks: {
+            cell: value_for(cell[2], pick) for cell, pick in picks.items()
+        }
+    )
+
+
+def assert_problems_bitwise_equal(a: FusionProblem, b: FusionProblem) -> None:
+    for name in PROBLEM_ARRAYS:
+        assert np.array_equal(getattr(a, name), getattr(b, name)), name
+    assert a.items == b.items
+    assert a.sources == b.sources
+
+
+class TestShardMergeProperties:
+    @given(
+        table=claim_tables(),
+        n_shards=st.integers(1, 4),
+        assign=st.sampled_from(("hash", "contiguous")),
+    )
+    @settings(
+        max_examples=30, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_merged_problem_is_bitwise_the_unsharded_compile(
+        self, table, n_shards, assign
+    ):
+        dataset = build_dataset(table)
+        base = FusionProblem(dataset)
+        corpus = ShardedCorpus(dataset, n_shards, assign=assign)
+        assert_problems_bitwise_equal(corpus.merged_problem(), base)
+
+    @given(table=claim_tables(), n_shards=st.integers(2, 4))
+    @settings(
+        max_examples=20, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_shards_partition_the_items(self, table, n_shards):
+        dataset = build_dataset(table)
+        corpus = ShardedCorpus(dataset, n_shards, cross_shard="independent")
+        seen = []
+        for index in corpus.shards:
+            seen.extend(corpus.problem(index).items)
+        base = FusionProblem(dataset)
+        assert sorted(seen, key=repr) == sorted(base.items, key=repr)
+        assert len(seen) == len(set(seen))
+
+    @given(table=claim_tables())
+    @settings(
+        max_examples=8, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_k1_shard_runs_all_sixteen_methods_identically(self, table):
+        dataset = build_dataset(table)
+        base = FusionProblem(dataset)
+        shard = ShardedCorpus(dataset, 1).problem(0)
+        assert_problems_bitwise_equal(shard, base)
+        for name in METHOD_NAMES:
+            ours = make_method(name).run(shard)
+            reference = make_method(name).run(base)
+            assert ours.selected == reference.selected, name
+            assert ours.trust == reference.trust, name
+
+
+class TestShardDeterministic:
+    """The K=4 exact plan against the unsharded path on a real collection."""
+
+    @pytest.fixture(scope="class")
+    def corpus(self, stock_snapshot):
+        return ShardedCorpus(stock_snapshot, 4)
+
+    def test_merged_k4_is_bitwise_unsharded(self, corpus, stock_problem):
+        assert len(corpus.shards) == 4
+        assert_problems_bitwise_equal(corpus.merged_problem(), stock_problem)
+
+    def test_exact_plan_matches_unsharded_for_all_sixteen(
+        self, corpus, stock_problem
+    ):
+        result = ShardPlan(corpus, METHOD_NAMES).run()
+        assert result.mode == "exact"
+        for name in METHOD_NAMES:
+            reference = make_method(name).run(stock_problem)
+            assert result.results[name].selected == reference.selected, name
+            assert result.results[name].trust == reference.trust, name
+            assert result.results[name].rounds == reference.rounds, name
+
+    def test_spec_carve_matches_parent_compile(self, corpus, stock_problem):
+        for index in corpus.shards:
+            carved = shard_problem(stock_problem, corpus.spec(index))
+            assert_problems_bitwise_equal(carved, corpus.problem(index))
+
+    def test_copy_counts_sum_to_the_monolithic_counts(
+        self, corpus, stock_problem
+    ):
+        merged = corpus.merged_problem(with_copy=True)
+        seeded = merged.copy_structures
+        fresh = stock_problem.copy_structures
+        assert np.array_equal(seeded.same, fresh.same)
+        assert np.array_equal(seeded.shared, fresh.shared)
+
+    def test_independent_mode_covers_every_item(self, stock_snapshot):
+        corpus = ShardedCorpus(stock_snapshot, 4, cross_shard="independent")
+        result = ShardPlan(corpus, ["Vote"]).run()
+        assert result.mode == "independent"
+        covered = set()
+        for results in result.shard_results:
+            covered.update(results["Vote"].selected)
+        assert covered == set(FusionProblem(stock_snapshot).items)
+
+    def test_independent_mode_has_no_merged_problem(self, stock_snapshot):
+        corpus = ShardedCorpus(stock_snapshot, 2, cross_shard="independent")
+        with pytest.raises(FusionError, match="exact"):
+            corpus.merged_problem()
+
+    def test_oversharding_skips_empty_shards(self):
+        dataset = build_dataset({
+            ("s1", "o1", "price"): 10.0,
+            ("s2", "o1", "price"): 10.0,
+        })
+        corpus = ShardedCorpus(dataset, 8)
+        assert len(corpus.shards) == 1
+        assert_problems_bitwise_equal(
+            corpus.merged_problem(), FusionProblem(dataset)
+        )
+
+    def test_rejects_bad_configuration(self, stock_snapshot):
+        with pytest.raises(ConfigError):
+            ShardedCorpus(stock_snapshot, 0)
+        with pytest.raises(ConfigError):
+            ShardedCorpus(stock_snapshot, 2, assign="roundrobin")
+        with pytest.raises(ConfigError):
+            ShardedCorpus(stock_snapshot, 2, cross_shard="sometimes")

@@ -5,9 +5,15 @@ import pytest
 
 from repro.evaluation.metrics import evaluate
 from repro.evaluation.ordering import sources_by_recall
-from repro.fusion.batch import BATCH_SAFE_METHODS, solve_restrictions
+from repro.fusion.base import FusionProblem
+from repro.fusion.batch import (
+    BATCH_SAFE_METHODS,
+    RestrictionSweep,
+    solve_restrictions,
+)
 from repro.fusion.registry import METHOD_NAMES, make_method
 
+from tests.core.test_shard_properties import PROBLEM_ARRAYS
 from tests.helpers import build_dataset
 
 
@@ -70,6 +76,99 @@ class TestBatchedEqualsPerJob:
             assert outcome.result.extras.get("batched") is None
             assert outcome.result.selected == reference.selected
             assert outcome.result.rounds == reference.rounds
+
+
+class TestPrefixDeltaCompile:
+    """Nested prefixes delta-compile instead of re-bucketing from scratch."""
+
+    @pytest.fixture(scope="class")
+    def sparse_base(self):
+        # Two broad sources plus four sparse ones: each prefix step dirties
+        # only a few items, so the splice path pays and must engage.
+        claims = {}
+        for o in range(30):
+            claims[("s1", f"o{o}", "price")] = 10.0 + o
+            claims[("s2", f"o{o}", "price")] = 10.0 + o
+            claims[("s1", f"o{o}", "gate")] = f"G{o % 4}"
+        for j, source in enumerate(("s3", "s4", "s5", "s6")):
+            for o in range(3 * j, 3 * j + 3):
+                claims[(source, f"o{o}", "gate")] = f"G{(o + 1) % 4}"
+        return FusionProblem(build_dataset(claims))
+
+    @pytest.fixture(scope="class")
+    def chain(self):
+        order = ["s1", "s2", "s3", "s4", "s5", "s6"]
+        return [order[:size] for size in range(2, 7)]
+
+    @pytest.mark.parametrize("shared_tolerances", [True, False])
+    def test_delta_compiled_prefixes_are_bitwise_restrictions(
+        self, sparse_base, chain, shared_tolerances
+    ):
+        sweep = RestrictionSweep(
+            sparse_base, chain, shared_tolerances=shared_tolerances
+        )
+        assert sweep.delta_compiles >= len(chain) - 2
+        for subset, sub in zip(chain, sweep.subs):
+            reference = sparse_base.restrict_sources(subset)
+            for name in PROBLEM_ARRAYS:
+                assert np.array_equal(
+                    getattr(sub, name), getattr(reference, name)
+                ), (len(subset), name)
+            assert sub.sources == reference.sources
+
+    def test_delta_compiled_prefixes_solve_like_per_job(self, sparse_base, chain):
+        batched = solve_restrictions(sparse_base, make_method("AccuSim"), chain)
+        per_job = [
+            make_method("AccuSim").run(sparse_base.restrict_sources(subset))
+            for subset in chain
+        ]
+        for outcome, reference in zip(batched, per_job):
+            assert outcome.result.selected == reference.selected
+            assert outcome.result.rounds == reference.rounds
+            for source, trust in reference.trust.items():
+                assert outcome.result.trust[source] == pytest.approx(
+                    trust, abs=1e-12
+                )
+
+    def test_generated_prefixes_stay_exact_whatever_path_runs(
+        self, problem, prefixes
+    ):
+        # Broad-coverage generated sources usually dirty too much for the
+        # splice to pay; whichever path each step takes, the compiled
+        # problems must equal fresh restrictions bit for bit.
+        sweep = RestrictionSweep(problem, prefixes)
+        for subset, sub in zip(prefixes, sweep.subs):
+            reference = problem.restrict_sources(subset)
+            for name in ("claim_cluster", "_cluster_value_code", "_attr_tol"):
+                assert np.array_equal(getattr(sub, name), getattr(reference, name))
+
+    def test_tolerance_shift_dirties_whole_attribute(self, sparse_base):
+        # s7 skews the price median; every price item must recompile, and
+        # the result still matches the fresh restriction exactly.
+        claims = {}
+        for o in range(20):
+            claims[("s1", f"o{o}", "price")] = 10.0 + o
+            claims[("s2", f"o{o}", "price")] = 10.0 + o
+        claims[("s7", "o0", "price")] = 500.0
+        claims[("s8", "o0", "price")] = 10.0  # never joins: no full cover
+        base = FusionProblem(build_dataset(claims))
+        chain = [["s1", "s2"], ["s1", "s2", "s7"]]
+        sweep = RestrictionSweep(base, chain, delta_threshold=1.1)
+        assert sweep.delta_compiles == 1
+        reference = base.restrict_sources(chain[1])
+        for name in PROBLEM_ARRAYS:
+            assert np.array_equal(
+                getattr(sweep.subs[1], name), getattr(reference, name)
+            ), name
+
+    def test_non_nested_subsets_fall_back(self, sparse_base):
+        sweep = RestrictionSweep(
+            sparse_base, [["s1", "s3"], ["s1", "s4"], ["s2", "s5"]]
+        )
+        assert sweep.delta_compiles == 0
+        for subset, sub in zip(sweep.subsets, sweep.subs):
+            reference = sparse_base.restrict_sources(subset)
+            assert np.array_equal(sub.claim_cluster, reference.claim_cluster)
 
 
 class TestEdgeCases:

@@ -9,12 +9,18 @@ segments survive pool shutdown, even after a worker crash.
 
 import os
 import signal
+import threading
 
 import pytest
 
 from repro.evaluation.ordering import recall_as_sources_added, sources_by_recall
 from repro.fusion.registry import METHOD_NAMES, make_method
 from repro.parallel import MethodCall, SolveJob, SolveScheduler, solve_methods
+
+#: Worker-pool width of the determinism tests.  CI overrides this to match
+#: the runner's cores (``REPRO_TEST_WORKERS=2`` on the hosted 2-core VMs),
+#: validating the scaling configuration on real multi-core hardware.
+WORKERS = int(os.environ.get("REPRO_TEST_WORKERS", "4"))
 
 pytestmark = pytest.mark.skipif(
     not SolveScheduler(workers=2).parallel,
@@ -38,7 +44,7 @@ def problem(stock):
 
 @pytest.fixture(scope="module")
 def scheduler():
-    with SolveScheduler(workers=4) as sched:
+    with SolveScheduler(workers=WORKERS) as sched:
         yield sched
 
 
@@ -112,7 +118,7 @@ class TestParallelDeterminism:
 
         methods = ["Vote", "AccuSim", "AccuCopy", "AccuSimAttr"]
         serial = StreamRunner(methods, warm_start=True)
-        with StreamRunner(methods, warm_start=True, workers=4) as parallel:
+        with StreamRunner(methods, warm_start=True, workers=WORKERS) as parallel:
             for snapshot in list(stock.series)[:2]:
                 reference = serial.push(snapshot)
                 step = parallel.push(snapshot)
@@ -131,6 +137,72 @@ class TestParallelDeterminism:
         reference = make_method("AccuPr").run(problem)
         assert outcomes[0].result.selected == reference.selected
         assert outcomes[0].result.trust == reference.trust
+
+    def test_shard_jobs_match_parent_side_compiles(self, stock, problem, scheduler):
+        """Workers carving shards from the shared view == parent compiles."""
+        from repro.core.shard import ShardedCorpus
+
+        corpus = ShardedCorpus(stock.snapshot, 3, cross_shard="independent")
+        key = scheduler.register("full", problem)
+        jobs = [
+            SolveJob(
+                problem=key,
+                calls=[MethodCall("Vote"), MethodCall("AccuSim")],
+                shard=corpus.spec(index),
+            )
+            for index in corpus.shards
+        ]
+        outcomes = scheduler.run(jobs)
+        for index, outcome in zip(corpus.shards, outcomes):
+            shard = corpus.problem(index)
+            for call in outcome.calls:
+                reference = make_method(call.method).run(shard)
+                assert call.result.selected == reference.selected, (index, call.method)
+                for source, trust in reference.trust.items():
+                    assert call.result.trust[source] == pytest.approx(
+                        trust, abs=1e-12
+                    ), (index, call.method, source)
+
+    def test_shard_jobs_compose_with_subset_sweeps(self, stock, problem, scheduler):
+        """A job carrying both a shard and subsets sweeps *within* the shard."""
+        from repro.core.shard import ShardedCorpus
+        from repro.fusion.batch import solve_restrictions
+
+        corpus = ShardedCorpus(stock.snapshot, 2, cross_shard="independent")
+        index = corpus.shards[0]
+        shard = corpus.problem(index)
+        subsets = [shard.sources[: len(shard.sources) // 2], list(shard.sources)]
+        key = scheduler.register("full", problem)
+        outcome = scheduler.run([
+            SolveJob(
+                problem=key,
+                calls=[MethodCall("Vote")],
+                shard=corpus.spec(index),
+                subsets=[list(s) for s in subsets],
+            )
+        ])[0]
+        reference = solve_restrictions(shard, make_method("Vote"), subsets)
+        for row, expected in zip(outcome.sweep, reference):
+            assert row[0].result.selected == expected.result.selected
+
+    def test_shard_plan_parallel_matches_serial(self, stock, scheduler):
+        from repro.core.shard import ShardedCorpus, ShardPlan
+
+        methods = ["Vote", "AccuSim"]
+        serial = ShardPlan(
+            ShardedCorpus(stock.snapshot, 3, cross_shard="independent"), methods
+        ).run()
+        parallel = ShardPlan(
+            ShardedCorpus(stock.snapshot, 3, cross_shard="independent"), methods
+        ).run(scheduler=scheduler)
+        assert parallel.shard_ids == serial.shard_ids
+        for ours, reference in zip(parallel.shard_results, serial.shard_results):
+            for name in methods:
+                assert ours[name].selected == reference[name].selected, name
+                for source, trust in reference[name].trust.items():
+                    assert ours[name].trust[source] == pytest.approx(
+                        trust, abs=1e-12
+                    ), (name, source)
 
 
 class TestSchedulerHygiene:
@@ -159,6 +231,45 @@ class TestSchedulerHygiene:
             os.kill(victim, signal.SIGKILL)
             with pytest.raises(Exception):
                 solve_methods(problem, ["Vote"], scheduler=scheduler, key="p")
+        finally:
+            scheduler.close()
+        assert not any(_attachable(s) for s in segments)
+
+    def test_close_is_idempotent(self, problem):
+        scheduler = SolveScheduler(workers=2)
+        solve_methods(problem, ["Vote"], scheduler=scheduler, key="p")
+        segments = self._segments(scheduler)
+        scheduler.close()
+        scheduler.close()  # double close must be a safe no-op
+        assert not any(_attachable(s) for s in segments)
+        assert scheduler._registrations == {}
+
+    def test_worker_death_mid_plan_leaves_no_segments(self, problem):
+        """A worker SIGKILLed while a plan is in flight must not leak shm."""
+        scheduler = SolveScheduler(workers=2)
+        try:
+            key = scheduler.register("p", problem)
+            solve_methods(problem, ["Vote"], scheduler=scheduler, key="p")
+            segments = self._segments(scheduler)
+            assert segments
+            victim = next(iter(scheduler._pool._processes))
+            # Convergence at tolerance 0 is impossible, so every job spins
+            # until the kill lands mid-plan.
+            jobs = [
+                SolveJob(problem=key, calls=[
+                    MethodCall("Vote", kwargs={
+                        "max_rounds": 1_000_000, "tolerance": 0.0,
+                    })
+                ])
+                for _ in range(4)
+            ]
+            killer = threading.Timer(0.3, os.kill, (victim, signal.SIGKILL))
+            killer.start()
+            try:
+                with pytest.raises(Exception):
+                    scheduler.run(jobs)
+            finally:
+                killer.cancel()
         finally:
             scheduler.close()
         assert not any(_attachable(s) for s in segments)

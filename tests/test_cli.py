@@ -123,6 +123,141 @@ class TestStreamCommand:
         assert main(["stream", str(tmp_path / "nope")]) == 2
 
 
+class TestServeAndQuery:
+    @pytest.fixture()
+    def richer_csv(self, tmp_path):
+        ds = build_dataset({
+            ("s1", "o1", "price"): 10.0,
+            ("s2", "o1", "price"): 10.0,
+            ("s3", "o1", "price"): 77.0,
+            ("s1", "o2", "price"): 5.0,
+            ("s2", "o2", "price"): 5.0,
+            ("s1", "o3", "gate"): "A1",
+            ("s3", "o3", "gate"): "A1",
+        })
+        path = tmp_path / "claims.csv"
+        write_claims_csv(ds, path)
+        return path
+
+    def test_serve_then_query_without_resolving(self, richer_csv, tmp_path, capsys):
+        store = tmp_path / "store.json"
+        assert main([
+            "serve", str(richer_csv), "--method", "Vote",
+            "--method", "AccuSim", "--store", str(store),
+        ]) == 0
+        assert store.exists()
+        assert main([
+            "query", str(store), "--object", "o1", "--attribute", "price",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "10.0" in out and "Vote" in out
+        assert main([
+            "query", str(store), "--object", "o1", "--attribute", "price",
+            "--method", "AccuSim",
+        ]) == 0
+        assert main([
+            "query", str(store), "--object", "o3", "--attribute", "gate",
+            "--ensemble",
+        ]) == 0
+        assert "Ensemble" in capsys.readouterr().out
+
+    def test_query_trust_and_stats(self, richer_csv, tmp_path, capsys):
+        store = tmp_path / "store.json"
+        assert main(["serve", str(richer_csv), "--store", str(store)]) == 0
+        assert main(["query", str(store), "--trust", "s1"]) == 0
+        assert "s1" in capsys.readouterr().out
+        assert main(["query", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "version 1" in out and "AccuSim" in out
+
+    def test_query_misses_exit_nonzero(self, richer_csv, tmp_path, capsys):
+        store = tmp_path / "store.json"
+        assert main(["serve", str(richer_csv), "--store", str(store)]) == 0
+        assert main([
+            "query", str(store), "--object", "o9", "--attribute", "price",
+        ]) == 1
+        assert main(["query", str(store), "--trust", "ghost"]) == 1
+
+    def test_query_rejects_partial_lookup_args(self, richer_csv, tmp_path, capsys):
+        store = tmp_path / "store.json"
+        assert main(["serve", str(richer_csv), "--store", str(store)]) == 0
+        assert main(["query", str(store), "--object", "o1"]) == 2
+        assert main(["query", str(store), "--attribute", "price"]) == 2
+        assert main(["query", str(store), "--ensemble"]) == 2
+
+    def test_query_reports_unreadable_store_cleanly(self, tmp_path, capsys):
+        assert main(["query", str(tmp_path / "nope.json")]) == 2
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["query", str(bad)]) == 2
+        assert "cannot read store" in capsys.readouterr().err
+
+    def test_query_trust_distinguishes_unknown_method(
+        self, richer_csv, tmp_path, capsys
+    ):
+        store = tmp_path / "store.json"
+        assert main(["serve", str(richer_csv), "--store", str(store)]) == 0
+        assert main([
+            "query", str(store), "--trust", "s1", "--method", "Nope",
+        ]) == 1
+        assert "not published" in capsys.readouterr().err
+
+    def test_sharded_serve_matches_unsharded(self, richer_csv, tmp_path, capsys):
+        flat, sharded = tmp_path / "flat.json", tmp_path / "sharded.json"
+        assert main(["serve", str(richer_csv), "--store", str(flat)]) == 0
+        assert main([
+            "serve", str(richer_csv), "--store", str(sharded), "--shards", "2",
+        ]) == 0
+        a = json.loads(flat.read_text())
+        b = json.loads(sharded.read_text())
+        assert a["truths"] == b["truths"]
+        assert a["trust"] == b["trust"]
+
+    def test_approximate_sharded_serve_covers_all_items(
+        self, richer_csv, tmp_path, capsys
+    ):
+        store = tmp_path / "store.json"
+        assert main([
+            "serve", str(richer_csv), "--store", str(store),
+            "--shards", "2", "--approximate",
+        ]) == 0
+        payload = json.loads(store.read_text())
+        assert len(payload["truths"]) == 3
+
+    def test_serve_directory_versions_per_day(self, tmp_path, capsys):
+        days = tmp_path / "days"
+        days.mkdir()
+        for index, value in enumerate((10.0, 11.0)):
+            ds = build_dataset(
+                {
+                    ("s1", "o1", "price"): value,
+                    ("s2", "o1", "price"): value,
+                },
+                day=f"d{index}",
+            )
+            write_claims_csv(ds, days / f"0{index}.csv")
+        store = tmp_path / "store.json"
+        assert main(["serve", str(days), "--store", str(store)]) == 0
+        payload = json.loads(store.read_text())
+        assert payload["version"] == 2
+        assert payload["day"] == "d1"
+        assert main([
+            "query", str(store), "--object", "o1", "--attribute", "price",
+        ]) == 0
+        assert "11.0" in capsys.readouterr().out
+
+    def test_serve_rejects_missing_source(self, tmp_path):
+        assert main([
+            "serve", str(tmp_path / "nope.csv"), "--store",
+            str(tmp_path / "s.json"),
+        ]) == 2
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main([
+            "serve", str(empty), "--store", str(tmp_path / "s.json"),
+        ]) == 1
+
+
 class TestExportDemo:
     def test_round_trip_through_cli(self, tmp_path, capsys):
         claims = tmp_path / "demo.csv"

@@ -1,0 +1,260 @@
+"""The truth-serving layer: versioned stores, shard merges, refresh safety."""
+
+import threading
+
+import pytest
+
+from repro.core.delta import ClaimDelta
+from repro.core.records import Claim, DataItem
+from repro.core.shard import ShardedCorpus, ShardPlan
+from repro.errors import FusionError
+from repro.fusion.base import FusionResult
+from repro.fusion.registry import make_method
+from repro.serving import TruthService, TruthStore
+
+from tests.helpers import build_dataset
+
+
+def _result(method, values, trust, day=None):
+    return FusionResult(
+        method=method,
+        selected={DataItem(obj, attr): v for (obj, attr), v in values.items()},
+        trust=dict(trust),
+    )
+
+
+@pytest.fixture()
+def dataset():
+    return build_dataset({
+        ("s1", "o1", "price"): 10.0,
+        ("s2", "o1", "price"): 10.0,
+        ("s3", "o1", "price"): 12.0,
+        ("s1", "o2", "price"): 5.0,
+        ("s2", "o2", "price"): 6.0,
+        ("s1", "o3", "gate"): "A1",
+        ("s2", "o3", "gate"): "A2",
+    })
+
+
+class TestTruthStoreBasics:
+    def test_publish_and_point_lookup(self):
+        store = TruthStore()
+        assert store.version == 0
+        assert store.lookup("o1", "price") is None
+        version = store.publish("d0", {
+            "Vote": _result("Vote", {("o1", "price"): 10.0}, {"s1": 0.9}),
+        })
+        assert version == 1 and store.version == 1 and store.day == "d0"
+        answer = store.lookup("o1", "price")
+        assert answer.value == 10.0
+        assert answer.method == "Vote"
+        assert answer.version == 1
+        assert store.lookup("o1", "volume") is None
+        assert store.lookup("o9", "price") is None
+
+    def test_method_selection_and_trust_reads(self):
+        store = TruthStore()
+        store.publish("d0", {
+            "Vote": _result("Vote", {("o1", "price"): 10.0}, {"s1": 0.5}),
+            "AccuSim": _result("AccuSim", {("o1", "price"): 12.0}, {"s1": 0.7}),
+        })
+        assert store.lookup("o1", "price").value == 10.0  # default: first
+        assert store.lookup("o1", "price", method="AccuSim").value == 12.0
+        assert store.lookup("o1", "price", method="Nope") is None
+        assert store.trust("s1") == 0.5
+        assert store.trust("s1", method="AccuSim") == 0.7
+        assert store.trust("ghost") is None
+
+    def test_ensemble_majority_and_tie_break(self):
+        store = TruthStore()
+        store.publish("d0", {
+            "Vote": _result("Vote", {("o1", "price"): 10.0}, {}),
+            "AccuSim": _result("AccuSim", {("o1", "price"): 12.0}, {}),
+            "AccuPr": _result("AccuPr", {("o1", "price"): 12.0}, {}),
+        })
+        answer = store.ensemble("o1", "price")
+        assert answer.value == 12.0 and answer.method == "Ensemble"
+        # 1-1 tie: earliest publish order wins.
+        store.publish("d1", {
+            "Vote": _result("Vote", {("o1", "price"): 10.0}, {}),
+            "AccuSim": _result("AccuSim", {("o1", "price"): 12.0}, {}),
+        })
+        assert store.ensemble("o1", "price").value == 10.0
+        assert store.ensemble("o9", "price") is None
+
+    def test_publish_rejects_empty(self):
+        with pytest.raises(FusionError):
+            TruthStore().publish("d0", {})
+        with pytest.raises(FusionError):
+            TruthStore().publish_shards("d0", [])
+
+    def test_save_load_round_trip(self, tmp_path):
+        store = TruthStore()
+        store.publish("d0", {
+            "Vote": _result(
+                "Vote", {("o1", "price"): 10.0, ("o3", "gate"): "A1"},
+                {"s1": 0.9, "s2": 0.4},
+            ),
+        })
+        path = tmp_path / "store.json"
+        store.save(path)
+        loaded = TruthStore.load(path)
+        assert loaded.version == store.version
+        assert loaded.day == "d0"
+        assert loaded.methods == ("Vote",)
+        assert loaded.lookup("o1", "price").value == 10.0
+        assert loaded.lookup("o3", "gate").value == "A1"
+        assert loaded.trust("s2") == 0.4
+
+
+class TestShardedPublish:
+    def test_shard_truths_union_and_trust_merges_by_weight(self):
+        store = TruthStore()
+        shard_results = [
+            {"Vote": _result("Vote", {("o1", "price"): 10.0}, {"s1": 1.0, "s2": 0.0})},
+            {"Vote": _result("Vote", {("o2", "price"): 5.0}, {"s1": 0.0, "s2": 1.0})},
+        ]
+        weights = [{"s1": 3.0, "s2": 1.0}, {"s1": 1.0, "s2": 3.0}]
+        store.publish_shards("d0", shard_results, source_weights=weights)
+        assert store.lookup("o1", "price").value == 10.0
+        assert store.lookup("o2", "price").value == 5.0
+        assert store.trust("s1") == pytest.approx(0.75)
+        assert store.trust("s2") == pytest.approx(0.75)
+        # Without weights the merge is a plain mean.
+        store.publish_shards("d1", shard_results)
+        assert store.trust("s1") == pytest.approx(0.5)
+
+    def test_zero_weight_source_falls_back_to_plain_mean(self):
+        store = TruthStore()
+        shard_results = [
+            {"Vote": _result("Vote", {("o1", "price"): 1.0}, {"s1": 0.2})},
+            {"Vote": _result("Vote", {("o2", "price"): 2.0}, {"s1": 0.6})},
+        ]
+        store.publish_shards(
+            "d0", shard_results, source_weights=[{"s1": 0.0}, {"s1": 0.0}]
+        )
+        assert store.trust("s1") == pytest.approx(0.4)
+
+    def test_plan_round_trip_exact_equals_unsharded_publish(self, dataset):
+        from repro.fusion.base import FusionProblem
+
+        exact = TruthStore()
+        exact.publish_plan(ShardPlan(ShardedCorpus(dataset, 2), ["Vote"]).run())
+        flat = TruthStore()
+        flat.publish(
+            dataset.day, {"Vote": make_method("Vote").run(FusionProblem(dataset))}
+        )
+        for key in ("o1", "o2"):
+            assert (
+                exact.lookup(key, "price").value == flat.lookup(key, "price").value
+            )
+        assert exact.trust("s1") == flat.trust("s1")
+
+    def test_plan_round_trip_independent(self, dataset):
+        corpus = ShardedCorpus(dataset, 2, cross_shard="independent")
+        store = TruthStore()
+        store.publish_plan(ShardPlan(corpus, ["Vote"]).run())
+        # Every item answered, trust merged over the full source universe.
+        for obj, attr in (("o1", "price"), ("o2", "price"), ("o3", "gate")):
+            assert store.lookup(obj, attr) is not None
+        for source in ("s1", "s2", "s3"):
+            assert store.trust(source) is not None
+
+
+class TestRefreshSafety:
+    def test_refresh_never_serves_a_torn_version(self):
+        """Readers racing publishes must always see one coherent snapshot."""
+        items = [(f"o{i}", "price") for i in range(40)]
+
+        def results_for(v):
+            return {
+                "Vote": _result(
+                    "Vote",
+                    {key: float(v) for key in items},
+                    {"s1": float(v)},
+                )
+            }
+
+        store = TruthStore()
+        store.publish("day0", results_for(0))
+        stop = threading.Event()
+        errors = []
+
+        def reader():
+            while not stop.is_set():
+                snap = store.snapshot()
+                values = {
+                    store.lookup(obj, attr, snapshot=snap).value
+                    for obj, attr in items
+                }
+                if len(values) != 1:
+                    errors.append(("torn truths", values))
+                    return
+                value = values.pop()
+                trust = store.trust("s1", snapshot=snap)
+                if trust != value:
+                    errors.append(("trust from another version", value, trust))
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for v in range(1, 150):
+            store.publish(f"day{v}", results_for(v))
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert not errors, errors[:3]
+        assert store.version == 150
+
+    def test_pinned_snapshot_survives_later_publishes(self):
+        store = TruthStore()
+        store.publish("d0", {"Vote": _result("Vote", {("o1", "price"): 1.0}, {})})
+        snap = store.snapshot()
+        store.publish("d1", {"Vote": _result("Vote", {("o1", "price"): 2.0}, {})})
+        assert store.lookup("o1", "price").value == 2.0
+        assert store.lookup("o1", "price", snapshot=snap).value == 1.0
+        assert store.lookup("o1", "price", snapshot=snap).version == 1
+
+
+class TestTruthService:
+    def test_stream_days_become_store_versions(self, dataset):
+        with TruthService(["Vote", "AccuSim"]) as service:
+            assert service.ingest(dataset) == 1
+            store = service.store
+            assert store.day == "d0"
+            before = store.lookup("o1", "price")
+            assert before.value == 10.0
+            # s3 changes its o1 price to agree with nobody; majority holds.
+            version = service.apply(ClaimDelta(
+                day="d1",
+                added=(("s3", DataItem("o1", "price"), Claim(value=99.0)),),
+            ))
+            assert version == 2
+            assert store.day == "d1"
+            assert store.lookup("o1", "price").value == 10.0
+            assert store.lookup("o1", "price").version == 2
+            # A delta that flips the majority flips the served truth.
+            service.apply(ClaimDelta(
+                day="d2",
+                added=(
+                    ("s1", DataItem("o2", "price"), Claim(value=6.0)),
+                ),
+            ))
+            assert store.lookup("o2", "price").value == 6.0
+            assert store.version == 3
+
+    def test_service_matches_direct_sessions(self, dataset):
+        from repro.fusion.spec import FusionSession
+
+        with TruthService(["AccuSim"]) as service:
+            service.ingest(dataset)
+            session = FusionSession(make_method("AccuSim"), warm_start=True)
+            reference = session.advance(dataset)
+            store = service.store
+            for item, value in reference.selected.items():
+                assert (
+                    store.lookup(item.object_id, item.attribute).value == value
+                )
+            for source, trust in reference.trust.items():
+                assert store.trust(source) == pytest.approx(trust, abs=1e-12)
