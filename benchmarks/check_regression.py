@@ -1,0 +1,91 @@
+"""CI gate: fail when the bench summary regresses against a committed baseline.
+
+Compares the ``summary`` block of a fresh ``BENCH_fusion.json`` against a
+committed baseline payload:
+
+* **speedup keys** (``*speedup*``, ratios of two timings from the *same*
+  run, so they are robust to absolute machine speed) must not fall more
+  than ``--threshold`` (default 25%) below the baseline;
+* **equality keys** (``*_equal``) must be ``True`` — a bit-identity break
+  is a correctness bug, not a perf regression.
+
+Absolute timings (query latencies, wall-clock seconds) are reported but
+never gated: hosted runners are too noisy for them.
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        --baseline benchmarks/BENCH_small_baseline.json \
+        --current BENCH_fusion.json --threshold 0.25
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+
+def compare(baseline: dict, current: dict, threshold: float) -> list:
+    failures = []
+    base_summary = baseline.get("summary", {})
+    summary = current.get("summary", {})
+    if baseline.get("scale") != current.get("scale"):
+        print(
+            f"[check] note: baseline scale {baseline.get('scale')!r} != "
+            f"current scale {current.get('scale')!r}; ratios still compared"
+        )
+    for key, base_value in sorted(base_summary.items()):
+        value = summary.get(key)
+        if key.endswith("_equal"):
+            if value is not True:
+                failures.append(f"{key}: expected True, got {value!r}")
+            continue
+        if "speedup" not in key:
+            continue  # absolute timings are informational only
+        if not isinstance(base_value, (int, float)):
+            continue
+        if value is None:
+            failures.append(f"{key}: missing from current summary")
+            continue
+        floor = base_value * (1.0 - threshold)
+        status = "ok" if value >= floor else "REGRESSED"
+        print(
+            f"[check] {key}: baseline {base_value:.2f} -> current "
+            f"{value:.2f} (floor {floor:.2f}) {status}"
+        )
+        if value < floor:
+            failures.append(
+                f"{key}: {value:.2f} < {floor:.2f} "
+                f"({threshold:.0%} below baseline {base_value:.2f})"
+            )
+    return failures
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline payload (JSON)")
+    parser.add_argument("--current", default="BENCH_fusion.json",
+                        help="freshly produced payload (JSON)")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed fractional speedup drop (default 0.25)")
+    args = parser.parse_args(argv)
+
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+    with open(args.current) as handle:
+        current = json.load(handle)
+    failures = compare(baseline, current, args.threshold)
+    if failures:
+        print("[check] FAILED:")
+        for failure in failures:
+            print(f"[check]   {failure}")
+        return 1
+    print("[check] summary within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

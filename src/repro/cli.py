@@ -42,6 +42,21 @@ from repro.io import (
 )
 
 
+def _sharding_mode(args: argparse.Namespace) -> Optional[str]:
+    """The validated ``cross_shard`` mode for ``--shards``/``--approximate``.
+
+    ``None`` means the flags are inconsistent (the message is printed);
+    shared by ``stream`` and ``serve`` so their CLI contracts cannot drift.
+    """
+    if args.shards < 1:
+        print(f"--shards must be >= 1, got {args.shards}", file=sys.stderr)
+        return None
+    if args.approximate and args.shards == 1:
+        print("--approximate needs --shards K with K > 1", file=sys.stderr)
+        return None
+    return "independent" if args.approximate else "exact"
+
+
 def _method_kwargs(args: argparse.Namespace) -> dict:
     """Solver flags shared by ``fuse`` and ``stream``."""
     kwargs = {}
@@ -112,6 +127,9 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     if not directory.is_dir():
         print(f"{directory} is not a directory", file=sys.stderr)
         return 2
+    cross_shard = _sharding_mode(args)
+    if cross_shard is None:
+        return 2
     methods = args.method or ["AccuSim"]
     kwargs = _method_kwargs(args)
     runner = StreamRunner(
@@ -119,6 +137,8 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         {name: dict(kwargs) for name in methods} if kwargs else None,
         warm_start=not args.cold,
         workers=args.workers,
+        shards=args.shards,
+        cross_shard=cross_shard,
     )
     output_dir = Path(args.output_dir) if args.output_dir else None
     if output_dir is not None:
@@ -190,8 +210,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     kwargs = _method_kwargs(args)
     store = TruthStore()
 
+    if args.stream and not source.is_dir():
+        print(
+            f"--stream serves a directory of daily CSVs; {source} is not one",
+            file=sys.stderr,
+        )
+        return 2
+    cross_shard = _sharding_mode(args)
+    if cross_shard is None:
+        return 2
     if source.is_dir():
         # Incremental serve: every daily CSV becomes the next store version.
+        # With --shards K each day is diff-compiled by K per-shard series
+        # compilers (sharded streaming straight into the persisted store).
         paths = sorted(source.glob("*.csv"))
         if not paths:
             print(f"no claim CSVs found in {source}", file=sys.stderr)
@@ -201,6 +232,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             {name: dict(kwargs) for name in methods} if kwargs else None,
             workers=args.workers,
             store=store,
+            shards=args.shards,
+            cross_shard=cross_shard,
         ) as service:
             for path in paths:
                 version = service.ingest(read_claims_csv(path))
@@ -218,7 +251,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             corpus = ShardedCorpus(
                 dataset,
                 args.shards,
-                cross_shard="independent" if args.approximate else "exact",
+                cross_shard=cross_shard,
             )
             plan = ShardPlan(
                 corpus, methods, {name: dict(kwargs) for name in methods}
@@ -361,6 +394,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="L-inf trust convergence threshold (default 1e-5)")
     stream.add_argument("--workers", type=int, default=1,
                         help="solve each day's methods across this many workers")
+    stream.add_argument("--shards", type=int, default=1,
+                        help="shard the stream by object key across K "
+                             "per-shard series compilers (default 1)")
+    stream.add_argument("--approximate", action="store_true",
+                        help="solve stream shards independently (shard-local "
+                             "trust/tolerances) instead of the exact merge")
     stream.set_defaults(func=_cmd_stream)
 
     serve = sub.add_parser(
@@ -375,11 +414,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--store", default="truth_store.json",
                        help="output store path (default: truth_store.json)")
     serve.add_argument("--shards", type=int, default=1,
-                       help="shard the corpus by object key into K shards "
-                            "(CSV input only; default 1)")
+                       help="shard the corpus (CSV input) or the stream "
+                            "(directory / --stream input) by object key "
+                            "into K shards (default 1)")
     serve.add_argument("--approximate", action="store_true",
                        help="solve shards independently (shard-local trust "
                             "and tolerances) instead of the exact merge")
+    serve.add_argument("--stream", action="store_true",
+                       help="require streaming input: serve a directory of "
+                            "daily CSVs through (optionally sharded) warm "
+                            "sessions, one store version per day")
     serve.add_argument("--workers", type=int, default=1,
                        help="worker processes for the solves")
     serve.add_argument("--max-rounds", type=int, default=None,

@@ -27,8 +27,10 @@ from repro.core.shard import (
     ShardPlan,
     ShardPlanResult,
     ShardSpec,
+    pack_shard_codes,
     shard_of_object,
     shard_problem,
+    shard_problem_from_view,
 )
 from repro.core.records import (
     Claim,
@@ -63,8 +65,10 @@ __all__ = [
     "ShardPlan",
     "ShardPlanResult",
     "ShardSpec",
+    "pack_shard_codes",
     "shard_of_object",
     "shard_problem",
+    "shard_problem_from_view",
     "GoldStandard",
     "accuracy_of_source",
     "build_gold_standard",

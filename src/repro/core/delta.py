@@ -118,6 +118,42 @@ def _ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
     return base + offsets
 
 
+def _scatter_insert_map(
+    n_old: int, positions: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Destination indices for a batched ``np.insert``-equivalent.
+
+    ``positions`` are original-coordinate insertion points (sorted,
+    duplicates allowed, ``np.insert`` semantics).  Returns
+    ``(old_dest, new_dest)``: where each existing element lands and where
+    each inserted element lands in the grown array.  One index computation
+    serves every parallel column — the store's five columns, the key index,
+    and the callers' activity masks all scatter through the same maps
+    instead of paying ``np.insert``'s per-array re-derivation.
+    """
+    k = len(positions)
+    counts = np.bincount(positions, minlength=n_old + 1)
+    old_dest = np.arange(n_old, dtype=np.int64)
+    if k:
+        old_dest += np.cumsum(counts[:n_old])
+    new_dest = positions + np.arange(k, dtype=np.int64)
+    return old_dest, new_dest
+
+
+def _scatter_insert(
+    old: np.ndarray,
+    values,
+    old_dest: np.ndarray,
+    new_dest: np.ndarray,
+    fill=None,
+) -> np.ndarray:
+    """One allocation + two scatters: ``np.insert(old, positions, values)``."""
+    out = np.empty(len(old_dest) + len(new_dest), dtype=old.dtype)
+    out[old_dest] = old
+    out[new_dest] = fill if values is None else values
+    return out
+
+
 def _two_source_gather(
     from_first: np.ndarray,
     indices: np.ndarray,
@@ -245,6 +281,95 @@ def splice_compiled(
     )
 
 
+def concat_compiled(parts: List[CompiledClusters]) -> CompiledClusters:
+    """Merge compilations with **disjoint** item sets into item-code order.
+
+    The N-way generalization of :func:`splice_compiled`'s segment shuffle:
+    one stable sort over the union's item codes orders every part's item
+    segments, and the cluster/claim arrays are gathered once — instead of
+    chaining N-1 pairwise splices that rebuild the accumulated result each
+    time.  Because each item's segment is copied verbatim from its part,
+    the result equals a monolithic compile of the union exactly (the shard
+    property suite pins it bitwise through ``ShardedCorpus.merged_compiled``).
+    """
+    parts = [part for part in parts if len(part.item_index)]
+    if not parts:
+        raise FusionError("concat_compiled needs at least one non-empty part")
+    if len(parts) == 1:
+        return parts[0]
+    cluster_off = np.cumsum([0] + [part.n_clusters for part in parts])
+    claim_off = np.cumsum([0] + [len(part.claim_source) for part in parts])
+
+    items = np.concatenate([part.item_index for part in parts])
+    attrs = np.concatenate([part.item_attr for part in parts])
+    seg_cstart = np.concatenate([
+        part.item_start[:-1] + off
+        for part, off in zip(parts, cluster_off[:-1])
+    ])
+    seg_ccount = np.concatenate([np.diff(part.item_start) for part in parts])
+    bounds = [
+        np.concatenate(([0], np.cumsum(part.cluster_support))).astype(np.int64)
+        for part in parts
+    ]
+    seg_qstart = np.concatenate([
+        b[part.item_start[:-1]] + off
+        for part, b, off in zip(parts, bounds, claim_off[:-1])
+    ])
+    seg_qcount = np.concatenate([
+        b[part.item_start[1:]] - b[part.item_start[:-1]]
+        for part, b in zip(parts, bounds)
+    ])
+
+    order = np.argsort(items, kind="stable")  # item codes are disjoint
+    items = items[order]
+    attrs = attrs[order]
+    seg_cstart = seg_cstart[order]
+    seg_ccount = seg_ccount[order]
+    seg_qstart = seg_qstart[order]
+    seg_qcount = seg_qcount[order]
+
+    n_items = len(items)
+    item_start = np.concatenate(([0], np.cumsum(seg_ccount))).astype(np.int64)
+
+    all_cluster_value = np.concatenate([part.cluster_value for part in parts])
+    all_cluster_support = np.concatenate([
+        part.cluster_support for part in parts
+    ])
+    cidx = _ranges(seg_cstart, seg_ccount)
+    cluster_item = np.repeat(np.arange(n_items, dtype=np.int64), seg_ccount)
+
+    all_claim_source = np.concatenate([part.claim_source for part in parts])
+    all_claim_value = np.concatenate([part.claim_value for part in parts])
+    all_claim_granularity = np.concatenate([
+        part.claim_granularity for part in parts
+    ])
+    all_claim_cluster = np.concatenate([
+        part.claim_cluster + off
+        for part, off in zip(parts, cluster_off[:-1])
+    ])
+    qidx = _ranges(seg_qstart, seg_qcount)
+    # Shift each claim's cluster id from its part's block numbering to the
+    # merged numbering, exactly like the pairwise splice.
+    claim_cluster = (
+        all_claim_cluster[qidx]
+        - np.repeat(seg_cstart, seg_qcount)
+        + np.repeat(item_start[:-1], seg_qcount)
+    )
+
+    return CompiledClusters(
+        item_index=items,
+        item_attr=attrs,
+        item_start=item_start,
+        cluster_item=cluster_item,
+        cluster_value=all_cluster_value[cidx],
+        cluster_support=all_cluster_support[cidx].astype(np.int64),
+        claim_source=all_claim_source[qidx],
+        claim_cluster=claim_cluster,
+        claim_value=all_claim_value[qidx],
+        claim_granularity=all_claim_granularity[qidx],
+    )
+
+
 def _pair_counts(
     source_codes: np.ndarray, group_codes: np.ndarray, n_sources: int
 ) -> np.ndarray:
@@ -292,6 +417,27 @@ class DayStats:
     full_compile: bool
     compacted: bool
     ingest_seconds: float
+
+
+@dataclass
+class PendingDay:
+    """A day whose claim churn is applied but whose compile hasn't run yet.
+
+    The two-phase split (:meth:`SeriesCompiler.begin_ingest` /
+    :meth:`SeriesCompiler.begin_delta` then :meth:`SeriesCompiler.finish`)
+    exists for the sharded streaming runner: every shard applies its slice
+    of the day first, the runner computes the day's *global* Equation-(3)
+    tolerances from the merged pending magnitudes, and each shard finishes
+    its compile under those shared medians — which is what makes the
+    spliced-together day bit-identical to the unsharded compile.
+    """
+
+    day: str
+    active: np.ndarray
+    old_active: np.ndarray
+    sources: List[str]
+    delta: Optional[ClaimDelta]
+    started: float
 
 
 @dataclass
@@ -541,13 +687,18 @@ class SeriesCompiler:
         val: np.ndarray,
         granc: np.ndarray,
         keys: np.ndarray,
-    ) -> Tuple[np.ndarray, np.ndarray]:
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Insert new claims at the end of their item segments.
 
-        Returns ``(insert_positions, final_positions)`` — the original-
-        coordinate positions handed to ``np.insert`` (callers use them to
-        expand old positional masks) and the claims' positions in the grown
-        store.
+        Returns ``(insert_positions, final_positions, old_dest)`` — the
+        original-coordinate positions (``np.insert`` semantics), the claims'
+        positions in the grown store, and where each pre-existing store
+        position landed (callers scatter their positional masks through it).
+        All segment inserts of a day go through **one** destination-map
+        computation and one allocation+scatter per column, instead of
+        ``np.insert`` re-deriving the index math for every array
+        (``tests/core/test_delta.py`` pins the store bit-identical to the
+        ``np.insert`` reference).
         """
         if len(self._item_counts) < len(self._items):
             self._item_counts = np.concatenate(
@@ -570,14 +721,13 @@ class SeriesCompiler:
         item, src = item[order], src[order]
         val, granc, keys = val[order], granc[order], keys[order]
 
-        self._s_item = np.insert(self._s_item, ins, item)
-        self._s_src = np.insert(self._s_src, ins, src)
-        self._s_val = np.insert(self._s_val, ins, val)
-        self._s_granc = np.insert(self._s_granc, ins, granc)
-        self._s_key = np.insert(self._s_key, ins, keys)
+        old_dest, final = _scatter_insert_map(len(self._s_item), ins)
+        self._s_item = _scatter_insert(self._s_item, item, old_dest, final)
+        self._s_src = _scatter_insert(self._s_src, src, old_dest, final)
+        self._s_val = _scatter_insert(self._s_val, val, old_dest, final)
+        self._s_granc = _scatter_insert(self._s_granc, granc, old_dest, final)
+        self._s_key = _scatter_insert(self._s_key, keys, old_dest, final)
         np.add.at(self._item_counts, item, 1)
-
-        final = ins + np.arange(len(ins), dtype=np.int64)
 
         # Patch the key index: existing store positions shift by the number
         # of insertions at or before them, then the new keys slot in.
@@ -587,9 +737,14 @@ class SeriesCompiler:
             )
         korder = np.argsort(keys, kind="stable")
         kpos = np.searchsorted(self._key_sorted, keys[korder])
-        self._key_sorted = np.insert(self._key_sorted, kpos, keys[korder])
-        self._key_pos = np.insert(self._key_pos, kpos, final[korder])
-        return ins, final
+        k_old, k_new = _scatter_insert_map(len(self._key_sorted), kpos)
+        self._key_sorted = _scatter_insert(
+            self._key_sorted, keys[korder], k_old, k_new
+        )
+        self._key_pos = _scatter_insert(
+            self._key_pos, final[korder], k_old, k_new
+        )
+        return ins, final, old_dest
 
     def _lookup(self, keys: np.ndarray) -> np.ndarray:
         """Store positions for composite keys; -1 where there is no match."""
@@ -629,8 +784,43 @@ class SeriesCompiler:
     def n_store_claims(self) -> int:
         return len(self._s_key)
 
-    def ingest(self, dataset: Dataset) -> DayCompilation:
-        """Diff a full snapshot against the stream and compile its day."""
+    @property
+    def store_items(self) -> List[DataItem]:
+        """The interned item table, in first-arrival (code) order (live list)."""
+        return self._items
+
+    @property
+    def store_item_attrs(self) -> List[int]:
+        """Attribute code per interned item (live list, parallel to items)."""
+        return self._item_attr_list
+
+    @property
+    def store_sources(self) -> List[str]:
+        """The interned source-id table, in first-declared order (live list)."""
+        return self._sources
+
+    @property
+    def store_values(self) -> List[Value]:
+        """The interned exact-value table (live list; compaction re-codes it)."""
+        return self._values
+
+    @property
+    def store_value_numeric(self) -> np.ndarray:
+        """``float(value)`` (or NaN) per interned value, parallel to values."""
+        return self._value_numeric
+
+    def ingest(
+        self, dataset: Dataset, attr_tol: Optional[np.ndarray] = None
+    ) -> DayCompilation:
+        """Diff a full snapshot against the stream and compile its day.
+
+        ``attr_tol`` overrides the day's Equation-(3) tolerances (the
+        sharded streaming runner hands every shard the global medians).
+        """
+        return self.finish(self.begin_ingest(dataset), attr_tol=attr_tol)
+
+    def begin_ingest(self, dataset: Dataset) -> PendingDay:
+        """Phase one of :meth:`ingest`: apply the snapshot's claim churn."""
         started = time.perf_counter()
         self._check_attributes(dataset.attributes)
         view = dataset.columnar
@@ -669,24 +859,37 @@ class SeriesCompiler:
         missing = pos < 0
         old_active = self._active
         if missing.any():
-            ins, final = self._insert_claims(
+            _ins, final, old_dest = self._insert_claims(
                 u_item[missing],
                 u_src[missing],
                 u_val[missing],
                 u_granc[missing],
                 keys[missing],
             )
-            old_active = np.insert(old_active, ins, False)
+            old_active = _scatter_insert(
+                old_active, None, old_dest, final, fill=False
+            )
             pos = self._lookup(keys)  # new claims are now present
         active = np.zeros(len(self._s_key), dtype=bool)
         active[pos] = True
         self._attr_sorted = None  # ingest recomputes tolerances wholesale
-        return self._finish_day(
-            dataset.day, active, old_active, list(view.sources), None, started
+        return PendingDay(
+            day=dataset.day,
+            active=active,
+            old_active=old_active,
+            sources=list(view.sources),
+            delta=None,
+            started=started,
         )
 
-    def apply_delta(self, delta: ClaimDelta) -> DayCompilation:
+    def apply_delta(
+        self, delta: ClaimDelta, attr_tol: Optional[np.ndarray] = None
+    ) -> DayCompilation:
         """Compile the next day from an explicit change set."""
+        return self.finish(self.begin_delta(delta), attr_tol=attr_tol)
+
+    def begin_delta(self, delta: ClaimDelta) -> PendingDay:
+        """Phase one of :meth:`apply_delta`: apply the explicit change set."""
         started = time.perf_counter()
         if self._attributes is None:
             raise FusionError(
@@ -758,24 +961,35 @@ class SeriesCompiler:
             pos = self._lookup(keys)
             missing = pos < 0
             if missing.any():
-                ins, final = self._insert_claims(
+                _ins, final, old_dest = self._insert_claims(
                     add_item[missing],
                     add_src[missing],
                     add_val[missing],
                     add_granc[missing],
                     keys[missing],
                 )
-                old_active = np.insert(old_active, ins, False)
-                active = np.insert(active, ins, False)
+                old_active = _scatter_insert(
+                    old_active, None, old_dest, final, fill=False
+                )
+                active = _scatter_insert(
+                    active, None, old_dest, final, fill=False
+                )
                 pos = self._lookup(keys)
             active[pos] = True
-        return self._finish_day(
-            delta.day, active, old_active, declared, delta, started
+        return PendingDay(
+            day=delta.day,
+            active=active,
+            old_active=old_active,
+            sources=declared,
+            delta=delta,
+            started=started,
         )
 
     # ------------------------------------------------------------ tolerances
-    def _attr_sorted_arrays(self, active: np.ndarray) -> List[Optional[np.ndarray]]:
-        """Sorted |value| arrays of the active claims, per numeric attribute."""
+    def _attr_magnitudes(
+        self, active: np.ndarray, sort: bool = True
+    ) -> List[Optional[np.ndarray]]:
+        """|value| arrays of the active claims, per numeric attribute."""
         arrays: List[Optional[np.ndarray]] = []
         item_attr = np.asarray(self._item_attr_list, dtype=np.int64)
         claim_attr = item_attr[self._s_item]
@@ -785,11 +999,27 @@ class SeriesCompiler:
                     self._s_val[active & (claim_attr == code)]
                 ]
                 bucket = np.abs(bucket[~np.isnan(bucket)])
-                bucket.sort()
+                if sort:
+                    bucket.sort()
                 arrays.append(bucket)
             else:
                 arrays.append(None)
         return arrays
+
+    def _attr_sorted_arrays(self, active: np.ndarray) -> List[Optional[np.ndarray]]:
+        """Sorted |value| arrays of the active claims, per numeric attribute."""
+        return self._attr_magnitudes(active, sort=True)
+
+    def pending_magnitudes(
+        self, pending: PendingDay
+    ) -> List[Optional[np.ndarray]]:
+        """Per-numeric-attribute |value| arrays of a pending day's claims.
+
+        The sharded streaming runner concatenates these across shards to
+        compute the day's **global** Equation-(3) medians before calling
+        :meth:`finish` on every shard with the shared tolerances.
+        """
+        return self._attr_magnitudes(pending.active, sort=False)
 
     def _patch_attr_sorted(
         self, old_active: np.ndarray, active: np.ndarray
@@ -819,6 +1049,32 @@ class SeriesCompiler:
                 arr = np.insert(arr, np.searchsorted(arr, adds), adds)
             self._attr_sorted[code] = arr
 
+    def global_tolerances(
+        self, buckets: List[List[Optional[np.ndarray]]]
+    ) -> np.ndarray:
+        """Equation (3) from per-shard magnitude buckets merged per attribute.
+
+        ``buckets`` is one :meth:`pending_magnitudes` result per shard; the
+        medians are computed over the concatenation, so they equal the
+        unsharded snapshot's medians exactly (``np.median`` is a multiset
+        function — element order cannot change it).
+        """
+        tolerances = np.zeros(len(self._attr_specs), dtype=np.float64)
+        for code, spec in enumerate(self._attr_specs):
+            if spec.kind is ValueKind.TIME:
+                tolerances[code] = TIME_TOLERANCE_MINUTES
+            elif spec.kind.is_numeric:
+                parts = [b[code] for b in buckets if b[code] is not None]
+                merged = (
+                    np.concatenate(parts) if parts
+                    else np.zeros(0, dtype=np.float64)
+                )
+                if merged.size:
+                    tolerances[code] = spec.tolerance_factor * float(
+                        np.median(merged)
+                    )
+        return tolerances
+
     def _tolerances_from_sorted(self) -> np.ndarray:
         """Equation (3) per attribute from the maintained sorted arrays."""
         tolerances = np.zeros(len(self._attr_specs), dtype=np.float64)
@@ -840,6 +1096,20 @@ class SeriesCompiler:
         return tolerances
 
     # ----------------------------------------------------------- compilation
+    def finish(
+        self, pending: PendingDay, attr_tol: Optional[np.ndarray] = None
+    ) -> DayCompilation:
+        """Phase two: compile a pending day (optionally under given tolerances)."""
+        return self._finish_day(
+            pending.day,
+            pending.active,
+            pending.old_active,
+            pending.sources,
+            pending.delta,
+            pending.started,
+            attr_tol_override=attr_tol,
+        )
+
     def _finish_day(
         self,
         day: str,
@@ -848,13 +1118,19 @@ class SeriesCompiler:
         declared_sources: List[str],
         delta: Optional[ClaimDelta],
         started: float,
+        attr_tol_override: Optional[np.ndarray] = None,
     ) -> DayCompilation:
         changed = active != old_active
         n_added = int((active & ~old_active).sum())
         n_removed = int((~active & old_active).sum())
 
         view = self._build_view()
-        if delta is not None and self._prev_tol is not None:
+        if attr_tol_override is not None:
+            attr_tol = np.asarray(attr_tol_override, dtype=np.float64)
+            # The incremental sorted arrays were not patched with this
+            # day's churn; drop them so a later self-computed day rebuilds.
+            self._attr_sorted = None
+        elif delta is not None and self._prev_tol is not None:
             if self._attr_sorted is None:
                 self._attr_sorted = self._attr_sorted_arrays(old_active)
             self._patch_attr_sorted(old_active, active)

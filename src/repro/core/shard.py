@@ -48,7 +48,7 @@ from repro.core.columnar import (
     compute_tolerances,
 )
 from repro.core.dataset import Dataset
-from repro.core.delta import _pair_counts, splice_compiled
+from repro.core.delta import _pair_counts, concat_compiled
 from repro.errors import ConfigError, FusionError
 
 __all__ = [
@@ -58,6 +58,8 @@ __all__ = [
     "ShardPlanResult",
     "shard_of_object",
     "shard_problem",
+    "shard_problem_from_view",
+    "pack_shard_codes",
 ]
 
 ASSIGN_MODES = ("hash", "contiguous")
@@ -92,6 +94,29 @@ def item_shard_codes(view: ColumnarView, n_shards: int, assign: str) -> np.ndarr
     return np.asarray([mapping[obj] for obj in objects], dtype=np.int64)
 
 
+def pack_shard_codes(codes: np.ndarray) -> np.ndarray:
+    """Assignment codes in wire form: one byte per object where K permits.
+
+    The view-only export ships these so workers index the shared array
+    instead of re-hashing every object id per job.
+    """
+    if codes.size and int(codes.max()) > 255:
+        return np.ascontiguousarray(codes, dtype=np.int64)
+    return codes.astype(np.uint8)
+
+
+def _cached_item_codes(
+    holder, view: ColumnarView, n_shards: int, assign: str
+) -> np.ndarray:
+    """Per-object memo of ``item_shard_codes`` (workers reuse it across jobs)."""
+    cache = holder.__dict__.setdefault("_shard_code_cache", {})
+    codes = cache.get((n_shards, assign))
+    if codes is None:
+        codes = item_shard_codes(view, n_shards, assign)
+        cache[(n_shards, assign)] = codes
+    return codes
+
+
 @dataclass(frozen=True)
 class ShardSpec:
     """A compact, picklable recipe for carving one shard from a base problem.
@@ -109,7 +134,7 @@ class ShardSpec:
     tolerance_scope: str = "global"
 
 
-def shard_problem(problem, spec: ShardSpec):
+def shard_problem(problem, spec: ShardSpec, codes: Optional[np.ndarray] = None):
     """Compile one shard of a columnar-compiled problem (worker entry point).
 
     Bit-identical to compiling the shard's claims monolithically: the claim
@@ -117,6 +142,11 @@ def shard_problem(problem, spec: ShardSpec):
     and the full source universe is kept (a shard with no claims from some
     source still carries its trust row, exactly like a delta-compiled day).
     With ``n_shards=1`` the result is indistinguishable from ``problem``.
+
+    ``codes`` supplies the per-object shard assignment when the caller
+    already holds it (the view-only export ships it); otherwise it is
+    computed once and memoized on ``problem``, so repeated ``ShardSpec``
+    expansions against one export never re-hash the object ids.
     """
     from repro.fusion.base import FusionProblem
 
@@ -125,7 +155,8 @@ def shard_problem(problem, spec: ShardSpec):
         raise FusionError("shard_problem requires a columnar-compiled problem")
     if not 0 <= spec.index < spec.n_shards:
         raise ConfigError(f"shard index {spec.index} out of range of {spec.n_shards}")
-    codes = item_shard_codes(view, spec.n_shards, spec.assign)
+    if codes is None:
+        codes = _cached_item_codes(problem, view, spec.n_shards, spec.assign)
     mask = codes[view.claim_item] == spec.index
     if problem._claim_mask is not None:
         mask &= problem._claim_mask
@@ -144,6 +175,51 @@ def shard_problem(problem, spec: ShardSpec):
         compiled=compiled,
         sources=list(problem.sources),
         source_codes=problem._source_codes,
+        attr_tol=attr_tol,
+        claim_mask=None if full else mask,
+    )
+
+
+def shard_problem_from_view(
+    view: ColumnarView,
+    spec: ShardSpec,
+    codes: Optional[np.ndarray] = None,
+    attr_tol: Optional[np.ndarray] = None,
+):
+    """Compile one shard straight from a raw columnar view — no base problem.
+
+    This is the compile-free scheduling path: the parent exports only the
+    view (plus the assignment ``codes``), and each worker runs this to carve
+    and compile *its own* shard.  Field for field it equals
+    ``ShardedCorpus(dataset, K, ...).problem(spec.index)`` — full source
+    universe, spec-scoped tolerances — without anyone ever compiling the
+    monolithic snapshot.  ``attr_tol`` supplies the global Equation-(3)
+    medians when ``tolerance_scope == "global"`` (the exporter precomputes
+    them; a median pass, not a compile).
+    """
+    from repro.fusion.base import FusionProblem
+
+    if not 0 <= spec.index < spec.n_shards:
+        raise ConfigError(f"shard index {spec.index} out of range of {spec.n_shards}")
+    if codes is None:
+        codes = item_shard_codes(view, spec.n_shards, spec.assign)
+    mask = codes[view.claim_item] == spec.index
+    if not mask.any():
+        raise FusionError(f"shard {spec.index}/{spec.n_shards} has no claims")
+    full = bool(mask.all())
+    if spec.tolerance_scope == "global":
+        if attr_tol is None:
+            attr_tol = compute_tolerances(view)
+    elif spec.tolerance_scope == "shard":
+        attr_tol = compute_tolerances(view, mask)
+    else:
+        raise ConfigError(f"unknown tolerance scope {spec.tolerance_scope!r}")
+    compiled = compile_clusters(view, attr_tol, mask)
+    return FusionProblem.from_compiled(
+        view=view,
+        compiled=compiled,
+        sources=list(view.sources),
+        source_codes=np.arange(view.n_sources, dtype=np.int64),
         attr_tol=attr_tol,
         claim_mask=None if full else mask,
     )
@@ -298,19 +374,14 @@ class ShardedCorpus:
         """All shard compilations merged back into snapshot item order.
 
         Items are disjoint across shards and the clustering kernel treats
-        them independently, so splicing the shard segments together in item
-        order reproduces the monolithic ``compile_clusters`` output exactly
+        them independently, so one K-way segment merge of the shard
+        compilations in item order (:func:`repro.core.delta.concat_compiled`)
+        reproduces the monolithic ``compile_clusters`` output exactly
         (the equivalence suite pins every array).
         """
-        shards = self.shards
-        merged = self.compile_shard(shards[0])
-        n_view_items = len(self.view.items)
-        for index in shards[1:]:
-            part = self.compile_shard(index)
-            dirty = np.zeros(n_view_items, dtype=bool)
-            dirty[part.item_index] = True
-            merged = splice_compiled(merged, part, dirty)
-        return merged
+        return concat_compiled([
+            self.compile_shard(index) for index in self.shards
+        ])
 
     def base_problem(self):
         """The unsharded problem of the snapshot (cached; the K=1 baseline)."""
@@ -447,9 +518,18 @@ class ShardPlan:
         if sched is None:
             sched = own = SolveScheduler(workers=workers)
         try:
-            # Shard workers rebuild shard-local copy structures themselves,
-            # so the export never ships the global overlap counts.
-            key = sched.register(None, corpus.base_problem())
+            # Compile-free parent: export the raw columnar view (plus the
+            # object→shard assignment codes) instead of a compiled base
+            # problem — workers carve and compile only their own shard, and
+            # shard-local copy structures are rebuilt worker-side, so the
+            # export never ships the global overlap counts either.
+            key = sched.register_view(
+                None,
+                corpus.view,
+                shard_codes=corpus.item_codes,
+                n_shards=corpus.n_shards,
+                assign=corpus.assign,
+            )
             jobs = [
                 SolveJob(
                     problem=key,

@@ -11,6 +11,15 @@ Workers rehydrate zero-copy read-only views over the same physical pages.
 
 Ownership contract: the *creator* of a :class:`SharedArrayBundle` is
 responsible for ``unlink()``; attachers only ``close()``.
+
+:class:`ViewBundle` is the **view-only export**: it packs a raw
+:class:`~repro.core.columnar.ColumnarView` — the claim columns plus the
+interned value tables — into one segment *without* compiling a
+:class:`~repro.fusion.base.FusionProblem` first.  Independent-mode shard
+plans ship this instead of a compiled problem, so the parent pays O(view
+build) where it used to pay a full monolithic compile; each worker carves
+and compiles only its own shard from the shared pages
+(:func:`repro.core.shard.shard_problem_from_view`).
 """
 
 from __future__ import annotations
@@ -122,6 +131,63 @@ class SharedArrayBundle:
             self._shm.unlink()
         except (FileNotFoundError, OSError):  # pragma: no cover
             pass
+
+
+#: The columnar-view array columns a :class:`ViewBundle` exports, in order.
+VIEW_ARRAY_FIELDS = (
+    "item_attr",
+    "item_start",
+    "claim_item",
+    "claim_source",
+    "claim_value",
+    "claim_numeric",
+    "claim_granularity",
+    "value_numeric",
+    "value_str_rank",
+)
+
+
+def view_arrays(view) -> Dict[str, np.ndarray]:
+    """The packable numpy columns of a ``ColumnarView`` (``v_``-prefixed)."""
+    return {f"v_{name}": getattr(view, name) for name in VIEW_ARRAY_FIELDS}
+
+
+class ViewBundle(SharedArrayBundle):
+    """A raw columnar view in shared memory — no compiled problem attached.
+
+    ``extras`` lets the exporter ride small derived arrays along in the same
+    segment (the object→shard assignment codes, precomputed Equation-3
+    tolerances).  The Python object tables (items, sources, interned values,
+    attribute specs) are *not* arrays and travel in the exporter's pickle
+    sidecar, exactly like a problem export's.
+    """
+
+    @classmethod
+    def create_from_view(
+        cls, view, extras: Optional[Dict[str, np.ndarray]] = None
+    ) -> "ViewBundle":
+        arrays = view_arrays(view)
+        if extras:
+            arrays.update(extras)
+        return cls.create(arrays)
+
+    @staticmethod
+    def rebuild_view(bundle: "AttachedBundle", tables: Dict[str, object]):
+        """A zero-copy ``ColumnarView`` over an attached view bundle.
+
+        ``tables`` supplies the sidecar's object tables (``items``,
+        ``sources``, ``attr_names``, ``attr_specs``, ``values``).
+        """
+        from repro.core.columnar import ColumnarView
+
+        return ColumnarView(
+            items=tables["items"],
+            sources=tables["sources"],
+            attr_names=tables["attr_names"],
+            attr_specs=tables["attr_specs"],
+            values=tables["values"],
+            **{name: bundle[f"v_{name}"] for name in VIEW_ARRAY_FIELDS},
+        )
 
 
 class AttachedBundle:

@@ -51,6 +51,11 @@ SIMILARITY_WINDOW = 12
 #: Weight of a formatting-implied partial vote.
 FORMAT_WEIGHT = 0.5
 
+#: Running count of :class:`FusionProblem` compilations in this process.
+#: Tests use it to assert that scheduler paths which are supposed to be
+#: compile-free in the parent (the view-only shard export) really are.
+PROBLEM_COMPILES = 0
+
 
 class FusionProblem:
     """A snapshot compiled to flat arrays for the fusion methods.
@@ -129,6 +134,8 @@ class FusionProblem:
         dataset: Optional[Dataset],
     ) -> None:
         """Populate the flat arrays from a compiled columnar kernel result."""
+        global PROBLEM_COMPILES
+        PROBLEM_COMPILES += 1
         self.dataset = dataset
         self._view: Optional[ColumnarView] = view
         self._claim_mask = claim_mask
@@ -377,16 +384,98 @@ class FusionProblem:
             np.full(len(dst), FORMAT_WEIGHT, dtype=np.float64),
         )
 
+    # ------------------------------------------------- solver scratch buffers
+    def scratch(self, key: str, shape, dtype=np.float64) -> np.ndarray:
+        """A reusable solver buffer (allocated once per ``(key, shape)``).
+
+        The fixed-point kernels run dozens of rounds over arrays whose
+        shapes never change within a solve; routing their temporaries
+        through named scratch buffers removes the per-round allocations.
+        Buffers hold arbitrary garbage between uses and are **not**
+        thread-safe — one solve per problem at a time, which is what every
+        caller (sessions, workers, the batched sweep) already guarantees.
+        """
+        shape = (shape,) if isinstance(shape, int) else tuple(shape)
+        bufs = self.__dict__.setdefault("_scratch_bufs", {})
+        buf = bufs.get(key)
+        if buf is None or buf.shape != shape or buf.dtype != dtype:
+            buf = np.empty(shape, dtype=dtype)
+            bufs[key] = buf
+        return buf
+
+    def _invariant(self, key: str, build) -> np.ndarray:
+        cache = self.__dict__.setdefault("_invariant_cache", {})
+        value = cache.get(key)
+        if value is None:
+            value = build()
+            cache[key] = value
+        return value
+
+    @property
+    def cluster_support_f(self) -> np.ndarray:
+        """``cluster_support`` as float64 (cached; VOTE's per-round scores)."""
+        return self._invariant(
+            "support_f", lambda: self.cluster_support.astype(np.float64)
+        )
+
+    @property
+    def cluster_index(self) -> np.ndarray:
+        """``arange(n_clusters)`` (cached; the argmax kernel's tie-break)."""
+        return self._invariant(
+            "cluster_index", lambda: np.arange(self.n_clusters, dtype=np.int64)
+        )
+
+    @property
+    def claim_attr_flat(self) -> np.ndarray:
+        """``claim_source * n_attrs + claim_attr`` (cached; per-attr gathers)."""
+        return self._invariant(
+            "claim_attr_flat",
+            lambda: self.claim_source * self.n_attrs + self.claim_attr,
+        )
+
+    @property
+    def claims_per_source_floor(self) -> np.ndarray:
+        """``max(claims_per_source, 1)`` (cached; trust-update denominators)."""
+        return self._invariant(
+            "claims_floor", lambda: np.maximum(self.claims_per_source, 1.0)
+        )
+
+    @property
+    def claims_per_source_attr(self) -> np.ndarray:
+        """Per-(source, attribute) claim counts (cached; ATTR smoothing)."""
+        return self._invariant(
+            "claims_attr",
+            lambda: np.bincount(
+                self.claim_attr_flat, minlength=self.n_sources * self.n_attrs
+            ).astype(np.float64).reshape(self.n_sources, self.n_attrs),
+        )
+
     # ------------------------------------------------------------- selection
     def argmax_per_item(self, scores: np.ndarray) -> np.ndarray:
         """Index of the best-scoring cluster of each item (first on ties)."""
         starts = self.item_start[:-1]
-        seg_max = np.maximum.reduceat(scores, starts)
-        # First index attaining the segment max (NaN wins, like np.argmax).
-        is_max = (scores == seg_max[self.cluster_item]) | np.isnan(scores)
-        candidates = np.where(
-            is_max, np.arange(self.n_clusters, dtype=np.int64), self.n_clusters
+        n = self.n_clusters
+        seg_max = np.maximum.reduceat(
+            scores, starts, out=self.scratch("argmax_item", self.n_items)
         )
+        # First index attaining the segment max (NaN wins, like np.argmax).
+        gathered = np.take(
+            seg_max, self.cluster_item,
+            out=self.scratch("argmax_gather", n), mode="clip",
+        )
+        is_max = np.equal(
+            scores, gathered, out=self.scratch("argmax_mask", n, bool)
+        )
+        np.logical_or(
+            is_max,
+            np.isnan(scores, out=self.scratch("argmax_nan", n, bool)),
+            out=is_max,
+        )
+        candidates = self.scratch("argmax_cand", n, np.int64)
+        candidates.fill(n)
+        np.copyto(candidates, self.cluster_index, where=is_max)
+        # The result is a fresh array: callers keep selections across rounds
+        # and jobs, so it must not alias the scratch pool.
         return np.minimum.reduceat(candidates, starts)
 
     def selection_to_values(self, selected: np.ndarray) -> Dict[DataItem, Value]:
@@ -586,7 +675,14 @@ class FusionMethod(abc.ABC):
     # -------------------------------------------------------------- plumbing
     @abc.abstractmethod
     def _votes(self, problem: FusionProblem, state: Dict[str, np.ndarray]) -> np.ndarray:
-        """Score every cluster given the current state."""
+        """Score every cluster given the current state.
+
+        The returned array may be one of the problem's reusable scratch
+        buffers: it is valid until the next vote/trust kernel runs on the
+        same problem (exactly one fixed-point round, which is all the
+        solver needs).  Callers that keep scores across kernel calls —
+        diagnostics, tests comparing two runs — must ``.copy()`` them.
+        """
 
     @abc.abstractmethod
     def _update_trust(
@@ -604,7 +700,7 @@ def accumulate_by_source(
 ) -> np.ndarray:
     """Sum a per-claim quantity into a per-source (or per source-attr) array."""
     if per_attribute:
-        flat_index = problem.claim_source * problem.n_attrs + problem.claim_attr
+        flat_index = problem.claim_attr_flat
         sums = np.bincount(
             flat_index, weights=per_claim,
             minlength=problem.n_sources * problem.n_attrs,
@@ -632,9 +728,26 @@ def segment_sum_per_item(problem: FusionProblem, per_cluster: np.ndarray) -> np.
 
 
 def softmax_per_item(problem: FusionProblem, scores: np.ndarray) -> np.ndarray:
-    """Per-item softmax of cluster scores (numerically stabilized)."""
-    item_max = np.full(problem.n_items, -np.inf)
-    np.maximum.at(item_max, problem.cluster_item, scores)
-    shifted = np.exp(scores - item_max[problem.cluster_item])
+    """Per-item softmax of cluster scores (numerically stabilized).
+
+    Clusters are grouped per item (``item_start`` segments), so the
+    stabilizing max is a ``maximum.reduceat`` — bit-identical to the old
+    ``maximum.at`` scatter but without its per-element dispatch — and every
+    temporary lives in the problem's scratch pool.  The returned array is a
+    scratch buffer: valid until the next vote kernel runs on this problem,
+    which is exactly the lifetime the fixed-point round gives it.
+    """
+    starts = problem.item_start[:-1]
+    n = problem.n_clusters
+    item_max = np.maximum.reduceat(
+        scores, starts, out=problem.scratch("softmax_item", problem.n_items)
+    )
+    shifted = problem.scratch("softmax_shifted", n)
+    np.take(item_max, problem.cluster_item, out=shifted, mode="clip")
+    np.subtract(scores, shifted, out=shifted)
+    np.exp(shifted, out=shifted)
     denom = segment_sum_per_item(problem, shifted)
-    return shifted / denom[problem.cluster_item]
+    out = problem.scratch("softmax_out", n)
+    np.take(denom, problem.cluster_item, out=out, mode="clip")
+    np.divide(shifted, out, out=out)
+    return out

@@ -485,9 +485,10 @@ def _solve_batched(
         new_trust = spec.update_trust(stacked, state, scores, None)
         if frozen_claims:
             new_trust[frozen_rows] = trust[frozen_rows]
-        deltas = np.maximum.reduceat(
-            np.abs(new_trust - trust), stacked.source_offsets[:-1]
-        )
+        diff = stacked.scratch("batch_delta", new_trust.shape)
+        np.subtract(new_trust, trust, out=diff)
+        np.abs(diff, out=diff)
+        deltas = np.maximum.reduceat(diff, stacked.source_offsets[:-1])
         state["trust"] = new_trust
         selected = None
         for pos, sub_index in enumerate(blocks):

@@ -53,17 +53,31 @@ class TruthFinder(FusionMethod):
     def _votes(self, problem: FusionProblem, state: Dict[str, np.ndarray]) -> np.ndarray:
         trust = np.clip(state["trust"], *_TRUST_CLIP)
         tau = -np.log(1.0 - trust)
-        sigma = accumulate_by_cluster(problem, tau[problem.claim_source])
+        per_claim = np.take(
+            tau, problem.claim_source,
+            out=problem.scratch("tf_claim", problem.n_claims), mode="clip",
+        )
+        sigma = accumulate_by_cluster(problem, per_claim)
         sim_a, sim_b, sim_w = problem.similarity_edges
         boosted = sigma.copy()
         if len(sim_a):
+            # np.add.at accumulates in edge order — the float-summation
+            # order the equivalence suites pin — so it stays a scatter.
             np.add.at(boosted, sim_b, self.rho * sim_w * sigma[sim_a])
-        return 1.0 / (1.0 + np.exp(-self.gamma * boosted))
+        np.multiply(boosted, -self.gamma, out=boosted)
+        np.exp(boosted, out=boosted)
+        np.add(boosted, 1.0, out=boosted)
+        np.divide(1.0, boosted, out=boosted)
+        return boosted
 
     def _update_trust(self, problem, state, scores, selected) -> np.ndarray:
-        sums = accumulate_by_source(problem, scores[problem.claim_cluster])
-        counts = np.maximum(problem.claims_per_source, 1.0)
-        return np.clip(sums / counts, *_TRUST_CLIP)
+        per_claim = np.take(
+            scores, problem.claim_cluster,
+            out=problem.scratch("tf_claim", problem.n_claims), mode="clip",
+        )
+        sums = accumulate_by_source(problem, per_claim)
+        np.divide(sums, problem.claims_per_source_floor, out=sums)
+        return np.clip(sums, *_TRUST_CLIP, out=sums)
 
 
 class AccuPr(FusionMethod):
@@ -87,15 +101,45 @@ class AccuPr(FusionMethod):
 
     # ------------------------------------------------------------- vote math
     def _vote_counts(self, problem: FusionProblem, state: Dict[str, np.ndarray]) -> np.ndarray:
-        accuracy = np.clip(self._claim_trust(problem, state), *_TRUST_CLIP)
-        return np.log(self.n_false_values * accuracy / (1.0 - accuracy))
+        trust = state["trust"]
+        if type(self)._claim_trust is FusionMethod._claim_trust:
+            # Base trust layouts gather straight into the scratch pool.
+            accuracy = problem.scratch("accu_claim", problem.n_claims)
+            if self.per_attribute_trust:
+                np.take(
+                    trust.reshape(-1), problem.claim_attr_flat,
+                    out=accuracy, mode="clip",
+                )
+            else:
+                np.take(trust, problem.claim_source, out=accuracy, mode="clip")
+            np.clip(accuracy, *_TRUST_CLIP, out=accuracy)
+        else:
+            # Subclasses with custom trust layouts (e.g. the per-category
+            # extension) own the gather; their result is a fresh array, so
+            # the in-place log math below stays safe.
+            accuracy = np.clip(self._claim_trust(problem, state), *_TRUST_CLIP)
+        # log(n * a / (1 - a)), op for op as the expression evaluates, with
+        # the temporaries living in the scratch pool.
+        denom = problem.scratch("accu_claim2", problem.n_claims)
+        np.subtract(1.0, accuracy, out=denom)
+        np.multiply(self.n_false_values, accuracy, out=accuracy)
+        np.divide(accuracy, denom, out=accuracy)
+        np.log(accuracy, out=accuracy)
+        return accuracy
 
     def _popularity_discount(self, problem: FusionProblem) -> np.ndarray:
-        """POPACCU: ``-ln rho(v | d)`` replaces the uniform ``ln n`` term."""
-        support = problem.cluster_support.astype(np.float64)
-        providers = problem.providers_per_item[problem.cluster_item]
-        popularity = (support + 0.5) / (providers + 0.5 * problem.clusters_per_item[problem.cluster_item])
-        return -np.log(popularity) - np.log(self.n_false_values)
+        """POPACCU: ``-ln rho(v | d)`` replaces the uniform ``ln n`` term.
+
+        Selection-independent, so it is computed once per (problem, n) and
+        reused by every later round.
+        """
+        def build():
+            support = problem.cluster_support.astype(np.float64)
+            providers = problem.providers_per_item[problem.cluster_item]
+            popularity = (support + 0.5) / (providers + 0.5 * problem.clusters_per_item[problem.cluster_item])
+            return -np.log(popularity) - np.log(self.n_false_values)
+
+        return problem._invariant(f"pop_discount_{self.n_false_values}", build)
 
     def _votes(self, problem: FusionProblem, state: Dict[str, np.ndarray]) -> np.ndarray:
         per_claim = self._vote_counts(problem, state)
@@ -122,22 +166,23 @@ class AccuPr(FusionMethod):
         return probabilities
 
     def _update_trust(self, problem, state, scores, selected) -> np.ndarray:
-        per_claim = scores[problem.claim_cluster]
+        per_claim = np.take(
+            scores, problem.claim_cluster,
+            out=problem.scratch("accu_claim", problem.n_claims), mode="clip",
+        )
         if self.per_attribute_trust:
             sums = accumulate_by_source(problem, per_claim, per_attribute=True)
-            counts = accumulate_by_source(
-                problem, np.ones_like(per_claim), per_attribute=True
-            )
+            counts = problem.claims_per_source_attr
             global_sums = sums.sum(axis=1)
             global_counts = np.maximum(counts.sum(axis=1), 1.0)
             global_acc = global_sums / global_counts
             smoothed = (sums + _ATTR_SMOOTHING * global_acc[:, None]) / (
                 counts + _ATTR_SMOOTHING
             )
-            return np.clip(smoothed, *_TRUST_CLIP)
+            return np.clip(smoothed, *_TRUST_CLIP, out=smoothed)
         sums = accumulate_by_source(problem, per_claim)
-        counts = np.maximum(problem.claims_per_source, 1.0)
-        return np.clip(sums / counts, *_TRUST_CLIP)
+        np.divide(sums, problem.claims_per_source_floor, out=sums)
+        return np.clip(sums, *_TRUST_CLIP, out=sums)
 
 
 class PopAccu(AccuPr):

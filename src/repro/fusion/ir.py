@@ -105,7 +105,7 @@ class TwoEstimates(FusionMethod):
         support = accumulate_by_cluster(problem, trust)
         item_trust = segment_sum_per_item(problem, support)
         providers = problem.providers_per_item[problem.cluster_item]
-        cluster_support = problem.cluster_support.astype(np.float64)
+        cluster_support = problem.cluster_support_f
         # deniers' complement votes: (1 - t) summed over sources on the item
         # that did not provide this cluster.
         denier_complement = (
@@ -116,9 +116,21 @@ class TwoEstimates(FusionMethod):
         return _minmax(theta)
 
     def _round(self, problem: FusionProblem, theta: np.ndarray) -> np.ndarray:
-        item_max = np.full(problem.n_items, -np.inf)
-        np.maximum.at(item_max, problem.cluster_item, theta)
-        return (theta >= item_max[problem.cluster_item] - 1e-12).astype(np.float64)
+        # maximum.reduceat over the per-item cluster segments: bit-identical
+        # to the old maximum.at scatter (max is order-insensitive) without
+        # its per-element ufunc dispatch.
+        item_max = np.maximum.reduceat(
+            theta, problem.item_start[:-1],
+            out=problem.scratch("round_item", problem.n_items),
+        )
+        threshold = np.take(
+            item_max, problem.cluster_item,
+            out=problem.scratch("round_gather", problem.n_clusters), mode="clip",
+        )
+        np.subtract(threshold, 1e-12, out=threshold)
+        rounded = problem.scratch("round_out", problem.n_clusters)
+        np.greater_equal(theta, threshold, out=rounded)
+        return rounded
 
     def _votes(self, problem: FusionProblem, state: Dict[str, np.ndarray]) -> np.ndarray:
         theta = self._theta(problem, state)

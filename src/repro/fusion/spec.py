@@ -102,12 +102,17 @@ def run_fixed_point(
         if freeze_trust:
             converged = True
             break
+        trust = state["trust"]
         new_trust = spec.update_trust(problem, state, scores, selected)
-        delta = (
-            float(np.max(np.abs(new_trust - state["trust"])))
-            if new_trust.size
-            else 0.0
-        )
+        if new_trust.size:
+            # Fused convergence norm: |new - old| reduced in one scratch
+            # buffer instead of two fresh temporaries per round.
+            diff = problem.scratch("conv_delta", new_trust.shape)
+            np.subtract(new_trust, trust, out=diff)
+            np.abs(diff, out=diff)
+            delta = float(diff.max())
+        else:
+            delta = 0.0
         state["trust"] = new_trust
         if delta < spec.tolerance:
             converged = True

@@ -27,7 +27,7 @@ class Vote(FusionMethod):
         super().__init__(max_rounds=max_rounds, **kwargs)
 
     def _votes(self, problem: FusionProblem, state: Dict[str, np.ndarray]) -> np.ndarray:
-        return problem.cluster_support.astype(np.float64)
+        return problem.cluster_support_f
 
     def _update_trust(self, problem, state, scores, selected) -> np.ndarray:
         return state["trust"]

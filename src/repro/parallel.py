@@ -42,16 +42,23 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.core.columnar import ColumnarView, CompiledClusters
+from repro.core.columnar import ColumnarView, CompiledClusters, compute_tolerances
 from repro.core.gold import GoldStandard
-from repro.core.shard import ShardSpec, shard_problem
+from repro.core.shard import (
+    ShardSpec,
+    _cached_item_codes,
+    pack_shard_codes,
+    shard_problem,
+    shard_problem_from_view,
+)
 from repro.core.shm import (
     AttachedBundle,
     BundleDescriptor,
     SharedArrayBundle,
+    ViewBundle,
     shared_memory_available,
 )
-from repro.errors import FusionError
+from repro.errors import ConfigError, FusionError
 from repro.fusion.base import FusionProblem, FusionResult
 from repro.fusion.batch import RestrictionOutcome
 from repro.fusion.registry import make_method
@@ -161,6 +168,24 @@ class ProblemDescriptor:
     has_copy: bool
 
 
+@dataclass(frozen=True)
+class ViewDescriptor:
+    """A view-only registration: raw columns, no compiled problem.
+
+    ``shard_meta`` records the ``(n_shards, assign)`` the shipped
+    ``shard_codes`` array was computed for; a job whose :class:`ShardSpec`
+    matches indexes the shared array, anything else re-derives the
+    assignment (memoized per worker).  Precomputed global Equation-(3)
+    tolerances, when exported, ride in the bundle as ``attr_tol``.
+    """
+
+    key: str
+    generation: int
+    bundle: BundleDescriptor
+    sidecar: str
+    shard_meta: Optional[Tuple[int, str]] = None
+
+
 def _export_problem(
     problem: FusionProblem, gold: Optional[GoldStandard], tmpdir: str,
     key: str, generation: int, with_copy: bool,
@@ -224,6 +249,91 @@ def _export_problem(
     return bundle, descriptor
 
 
+def _export_view(
+    view: ColumnarView,
+    gold: Optional[GoldStandard],
+    tmpdir: str,
+    key: str,
+    generation: int,
+    shard_codes: Optional[np.ndarray],
+    shard_meta: Optional[Tuple[int, str]],
+    attr_tol: Optional[np.ndarray],
+) -> Tuple[ViewBundle, ViewDescriptor]:
+    extras: Dict[str, np.ndarray] = {}
+    if shard_codes is not None:
+        extras["shard_codes"] = pack_shard_codes(np.asarray(shard_codes))
+    if attr_tol is not None:
+        extras["attr_tol"] = np.asarray(attr_tol, dtype=np.float64)
+    bundle = ViewBundle.create_from_view(view, extras)
+    sidecar = os.path.join(tmpdir, f"{key}.{generation}.pkl".replace(os.sep, "_"))
+    payload = {
+        "items": view.items,
+        "sources": view.sources,
+        "attr_names": view.attr_names,
+        "attr_specs": view.attr_specs,
+        "values": view.values,
+        "gold": (gold.domain, dict(gold.values)) if gold is not None else None,
+    }
+    with open(sidecar, "wb") as handle:
+        pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    descriptor = ViewDescriptor(
+        key=key,
+        generation=generation,
+        bundle=bundle.descriptor,
+        sidecar=sidecar,
+        shard_meta=shard_meta if shard_codes is not None else None,
+    )
+    return bundle, descriptor
+
+
+class _AttachedView:
+    """Worker-side rehydrated view plus a memo of the shards carved from it."""
+
+    def __init__(self, descriptor: ViewDescriptor):
+        self.generation = descriptor.generation
+        self.bundle = AttachedBundle(descriptor.bundle)
+        with open(descriptor.sidecar, "rb") as handle:
+            payload = pickle.load(handle)
+        self.view = ViewBundle.rebuild_view(self.bundle, payload)
+        self.shard_meta = descriptor.shard_meta
+        self.shard_codes = self.bundle.get("shard_codes")
+        self.attr_tol = self.bundle.get("attr_tol")
+        self.shards: Dict[ShardSpec, FusionProblem] = {}
+        self.gold: Optional[GoldStandard] = None
+        if payload["gold"] is not None:
+            domain, values = payload["gold"]
+            self.gold = GoldStandard(domain=domain, values=values)
+
+    def shard_problem(self, spec: ShardSpec) -> FusionProblem:
+        problem = self.shards.get(spec)
+        if problem is None:
+            if (
+                self.shard_codes is not None
+                and self.shard_meta == (spec.n_shards, spec.assign)
+            ):
+                codes = self.shard_codes
+            else:
+                # Re-derive the assignment once per (K, assign), not per
+                # spec: the memo lives on this attached-view entry.
+                codes = _cached_item_codes(
+                    self, self.view, spec.n_shards, spec.assign
+                )
+            attr_tol = self.attr_tol
+            if attr_tol is None and spec.tolerance_scope == "global":
+                # Global medians are spec-independent; compute them once.
+                attr_tol = self.attr_tol = compute_tolerances(self.view)
+            problem = shard_problem_from_view(
+                self.view, spec, codes=codes, attr_tol=attr_tol
+            )
+            self.shards[spec] = problem
+        return problem
+
+    def close(self) -> None:
+        self.view = None
+        self.shards = {}
+        self.bundle.close()
+
+
 class _AttachedProblem:
     """Worker-side rehydrated problem plus the bundle keeping it alive."""
 
@@ -282,17 +392,27 @@ class _AttachedProblem:
         self.bundle.close()
 
 
-#: Per-worker cache of attached problems, keyed by registration key.
-_WORKER_PROBLEMS: Dict[str, _AttachedProblem] = {}
+#: Per-worker cache of attached problems/views, keyed by registration key.
+_WORKER_PROBLEMS: Dict[str, object] = {}
 
 
-def _worker_execute(descriptor: ProblemDescriptor, job: SolveJob) -> JobOutcome:
+def _worker_execute(descriptor, job: SolveJob) -> JobOutcome:
+    wants_view = isinstance(descriptor, ViewDescriptor)
     entry = _WORKER_PROBLEMS.get(descriptor.key)
-    if entry is None or entry.generation != descriptor.generation:
+    if (
+        entry is None
+        or entry.generation != descriptor.generation
+        or isinstance(entry, _AttachedView) != wants_view
+    ):
         if entry is not None:
             entry.close()
-        entry = _AttachedProblem(descriptor)
+        entry = (
+            _AttachedView(descriptor) if wants_view
+            else _AttachedProblem(descriptor)
+        )
         _WORKER_PROBLEMS[descriptor.key] = entry
+    if wants_view:
+        return _execute_view_job(entry, job)
     return _execute_job(entry.problem, entry.gold, job)
 
 
@@ -404,6 +524,25 @@ def _execute_sweep(
     return JobOutcome(tag=job.tag, sweep=rows)
 
 
+def _execute_view_job(entry, job: SolveJob) -> JobOutcome:
+    """Run a job against a view-only registration (worker or serial inline).
+
+    View registrations carry no compiled problem, so only shard jobs make
+    sense against them — the shard compile *is* the point.  The carved
+    problem then runs through the ordinary job executor (sweeps and source
+    restrictions compose within the shard).
+    """
+    import dataclasses
+
+    if job.shard is None:
+        raise FusionError(
+            "view-only registrations require shard jobs "
+            "(register the compiled problem for unsharded solves)"
+        )
+    target = entry.shard_problem(job.shard)
+    return _execute_job(target, entry.gold, dataclasses.replace(job, shard=None))
+
+
 def _execute_job(
     problem: FusionProblem, gold: Optional[GoldStandard], job: SolveJob
 ) -> JobOutcome:
@@ -429,12 +568,27 @@ def _execute_job(
 # The scheduler
 # --------------------------------------------------------------------------
 
+class _LocalView:
+    """Serial-mode twin of :class:`_AttachedView` (same carve-and-memo code)."""
+
+    def __init__(self, view, gold, shard_codes, shard_meta, attr_tol):
+        self.view = view
+        self.gold = gold
+        self.shard_codes = shard_codes
+        self.shard_meta = shard_meta
+        self.attr_tol = attr_tol
+        self.shards: Dict[ShardSpec, FusionProblem] = {}
+
+    shard_problem = _AttachedView.shard_problem
+
+
 class _Registration:
-    def __init__(self, problem, gold, bundle=None, descriptor=None):
+    def __init__(self, problem, gold, bundle=None, descriptor=None, view=None):
         self.problem = problem
         self.gold = gold
         self.bundle = bundle
         self.descriptor = descriptor
+        self.view = view  # a _LocalView for serial view-only registrations
         self.exported_gold = False
 
 
@@ -540,6 +694,77 @@ class SolveScheduler:
         self._reexport(key, registration, with_copy, previous=existing)
         return key
 
+    def register_view(
+        self,
+        key: Optional[str],
+        view: ColumnarView,
+        gold: Optional[GoldStandard] = None,
+        shard_codes: Optional[np.ndarray] = None,
+        n_shards: Optional[int] = None,
+        assign: str = "hash",
+        attr_tol: Optional[np.ndarray] = None,
+    ) -> str:
+        """Publish a raw columnar view under ``key`` — the compile-free export.
+
+        Unlike :meth:`register`, nothing is compiled parent-side: the view
+        columns (plus the object→shard assignment ``shard_codes`` computed
+        for ``(n_shards, assign)``, and optional precomputed global
+        tolerances) ship as-is, and workers compile only the shards their
+        jobs name (:func:`repro.core.shard.shard_problem_from_view`).
+        Re-registering the same view object under the same key is free;
+        supplying a gold standard, assignment codes, or tolerances the
+        existing registration lacks upgrades it (re-exporting in place),
+        mirroring :meth:`register`.
+        """
+        if key is None:
+            key = f"v{id(view):x}"
+        if shard_codes is not None and n_shards is None:
+            raise ConfigError(
+                "register_view needs n_shards alongside shard_codes "
+                "(workers match codes by (n_shards, assign))"
+            )
+        shard_meta = (int(n_shards), assign) if n_shards is not None else None
+        existing = self._registrations.get(key)
+        if (
+            existing is not None
+            and existing.view is not None
+            and existing.view.view is view
+        ):
+            previous = existing.view
+            upgrades = (
+                (gold is not None and previous.gold is None)
+                or (shard_codes is not None and previous.shard_meta != shard_meta)
+                or (attr_tol is not None and previous.attr_tol is None)
+            )
+            if not upgrades:
+                return key
+            # Merge what the existing registration already carried and fall
+            # through to a fresh export.
+            gold = gold if gold is not None else previous.gold
+            if shard_codes is None:
+                shard_codes, shard_meta = previous.shard_codes, previous.shard_meta
+            attr_tol = attr_tol if attr_tol is not None else previous.attr_tol
+        local = _LocalView(view, gold, shard_codes, shard_meta, attr_tol)
+        registration = _Registration(None, gold, view=local)
+        self._registrations[key] = registration
+        if not self._parallel:
+            return key
+        if self._tmpdir is None:
+            self._tmpdir = tempfile.mkdtemp(prefix="repro-sched-")
+        generation = (
+            existing.descriptor.generation + 1
+            if existing is not None and existing.descriptor is not None
+            else 0
+        )
+        if existing is not None and existing.bundle is not None:
+            existing.bundle.close()
+            existing.bundle.unlink()
+        registration.bundle, registration.descriptor = _export_view(
+            view, gold, self._tmpdir, key, generation,
+            shard_codes, shard_meta, attr_tol,
+        )
+        return key
+
     def _reexport(self, key, registration, with_copy, previous=None):
         if self._tmpdir is None:
             self._tmpdir = tempfile.mkdtemp(prefix="repro-sched-")
@@ -570,14 +795,16 @@ class SolveScheduler:
                     f"problem {job.problem!r} is not registered with this scheduler"
                 )
         if not self._parallel:
-            return [
-                _execute_job(
-                    self._registrations[job.problem].problem,
-                    self._registrations[job.problem].gold,
-                    job,
-                )
-                for job in jobs
-            ]
+            outcomes = []
+            for job in jobs:
+                registration = self._registrations[job.problem]
+                if registration.view is not None:
+                    outcomes.append(_execute_view_job(registration.view, job))
+                else:
+                    outcomes.append(
+                        _execute_job(registration.problem, registration.gold, job)
+                    )
+            return outcomes
         pool = self._ensure_pool()
         futures = [
             pool.submit(

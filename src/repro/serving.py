@@ -38,7 +38,50 @@ from repro.core.records import DataItem, Value
 from repro.errors import FusionError
 from repro.io import PathLike, _decode_value, _encode_value
 
-__all__ = ["TruthAnswer", "StoreSnapshot", "TruthStore", "TruthService"]
+__all__ = [
+    "TruthAnswer",
+    "StoreSnapshot",
+    "TruthStore",
+    "TruthService",
+    "merge_shard_trust",
+]
+
+
+def merge_shard_trust(
+    trusts: Sequence[Dict[str, float]],
+    weights: Optional[Sequence[Dict[str, float]]] = None,
+) -> Dict[str, float]:
+    """Merge per-shard per-source trust by weighted mean.
+
+    ``weights[i][source]`` is shard ``i``'s evidence mass for the source
+    (claim counts); without weights every shard's estimate counts equally.
+    A source no shard has evidence for falls back to the plain mean of its
+    estimates.  The single implementation behind both
+    :meth:`TruthStore.publish_shards` and the independent-mode sharded
+    stream merge (:class:`repro.streaming.StreamRunner`), so the two paths
+    cannot drift apart.
+    """
+    weighted: Dict[str, float] = {}
+    weight_sum: Dict[str, float] = {}
+    plain_sum: Dict[str, float] = {}
+    plain_n: Dict[str, int] = {}
+    for index, trust in enumerate(trusts):
+        for source_id, value in trust.items():
+            weight = 1.0
+            if weights is not None:
+                weight = float(weights[index].get(source_id, 0.0))
+            weighted[source_id] = weighted.get(source_id, 0.0) + weight * value
+            weight_sum[source_id] = weight_sum.get(source_id, 0.0) + weight
+            plain_sum[source_id] = plain_sum.get(source_id, 0.0) + value
+            plain_n[source_id] = plain_n.get(source_id, 0) + 1
+    return {
+        source_id: (
+            weighted[source_id] / weight_sum[source_id]
+            if weight_sum[source_id] > 0
+            else plain_sum[source_id] / plain_n[source_id]
+        )
+        for source_id in weighted
+    }
 
 ItemKey = Tuple[str, str]  # (object_id, attribute)
 
@@ -240,31 +283,14 @@ class TruthStore:
         truths: Dict[ItemKey, Dict[str, Value]] = {}
         trust: Dict[str, Dict[str, float]] = {}
         for method in methods:
-            weighted: Dict[str, float] = {}
-            weight_sum: Dict[str, float] = {}
-            plain_sum: Dict[str, float] = {}
-            plain_n: Dict[str, int] = {}
-            for index, results in enumerate(shard_results):
-                result = results[method]
-                for item, value in result.selected.items():
+            for results in shard_results:
+                for item, value in results[method].selected.items():
                     key = (item.object_id, item.attribute)
                     truths.setdefault(key, {})[method] = value
-                for source_id, value in result.trust.items():
-                    weight = 1.0
-                    if source_weights is not None:
-                        weight = float(source_weights[index].get(source_id, 0.0))
-                    weighted[source_id] = weighted.get(source_id, 0.0) + weight * value
-                    weight_sum[source_id] = weight_sum.get(source_id, 0.0) + weight
-                    plain_sum[source_id] = plain_sum.get(source_id, 0.0) + value
-                    plain_n[source_id] = plain_n.get(source_id, 0) + 1
-            trust[method] = {
-                source_id: (
-                    weighted[source_id] / weight_sum[source_id]
-                    if weight_sum[source_id] > 0
-                    else plain_sum[source_id] / plain_n[source_id]
-                )
-                for source_id in weighted
-            }
+            trust[method] = merge_shard_trust(
+                [results[method].trust for results in shard_results],
+                source_weights,
+            )
         return self._swap(day, methods, truths, trust)
 
     def publish_step(self, step) -> int:
@@ -347,6 +373,8 @@ class TruthService:
         warm_start: bool = True,
         workers: int = 0,
         store: Optional[TruthStore] = None,
+        shards: int = 1,
+        cross_shard: str = "exact",
     ):
         from repro.streaming import StreamRunner
 
@@ -355,6 +383,8 @@ class TruthService:
             method_kwargs,
             warm_start=warm_start,
             workers=workers,
+            shards=shards,
+            cross_shard=cross_shard,
         )
         self.store = store if store is not None else TruthStore()
 

@@ -262,6 +262,94 @@ class TestCopyCountTracking:
             assert np.array_equal(seeded.shared, fresh.shared)
 
 
+class TestInsertScatter:
+    """The batched allocation+scatter insert == the np.insert reference."""
+
+    @staticmethod
+    def _np_insert_claims(compiler, item, src, val, granc, keys):
+        """The pre-batching reference: one np.insert per store column."""
+        if len(compiler._item_counts) < len(compiler._items):
+            compiler._item_counts = np.concatenate((
+                compiler._item_counts,
+                np.zeros(
+                    len(compiler._items) - len(compiler._item_counts),
+                    dtype=np.int64,
+                ),
+            ))
+        item_start = compiler._item_start()
+        ins = item_start[item + 1]
+        order = np.lexsort((item, ins))
+        ins = ins[order]
+        item, src = item[order], src[order]
+        val, granc, keys = val[order], granc[order], keys[order]
+        compiler._s_item = np.insert(compiler._s_item, ins, item)
+        compiler._s_src = np.insert(compiler._s_src, ins, src)
+        compiler._s_val = np.insert(compiler._s_val, ins, val)
+        compiler._s_granc = np.insert(compiler._s_granc, ins, granc)
+        compiler._s_key = np.insert(compiler._s_key, ins, keys)
+        np.add.at(compiler._item_counts, item, 1)
+        final = ins + np.arange(len(ins), dtype=np.int64)
+        if len(compiler._key_pos):
+            compiler._key_pos = compiler._key_pos + np.searchsorted(
+                ins, compiler._key_pos, side="right"
+            )
+        korder = np.argsort(keys, kind="stable")
+        kpos = np.searchsorted(compiler._key_sorted, keys[korder])
+        compiler._key_sorted = np.insert(
+            compiler._key_sorted, kpos, keys[korder]
+        )
+        compiler._key_pos = np.insert(compiler._key_pos, kpos, final[korder])
+        old_dest = np.delete(
+            np.arange(len(compiler._s_item), dtype=np.int64), final
+        )
+        return ins, final, old_dest
+
+    def _stream(self, seed):
+        from repro.datagen import perturbed_claim_stream
+
+        base = build_dataset({
+            ("s1", "o1", "price"): 10.0,
+            ("s2", "o1", "price"): 11.0,
+            ("s1", "o2", "price"): 5.0,
+            ("s2", "o2", "volume"): 6.0,
+            ("s3", "o3", "gate"): "A1",
+            ("s1", "o3", "gate"): "A2",
+            ("s3", "o4", "price"): 50.0,
+        })
+        return base, perturbed_claim_stream(base, n_days=4, churn=0.4, seed=seed)
+
+    @pytest.mark.parametrize("seed", [1, 7])
+    def test_store_bit_identical_to_np_insert(self, seed, monkeypatch):
+        base, stream = self._stream(seed)
+
+        fast = SeriesCompiler()
+        fast.ingest(base)
+        reference = SeriesCompiler()
+        monkeypatch.setattr(
+            SeriesCompiler,
+            "_insert_claims",
+            self._np_insert_claims,
+            raising=True,
+        )
+        reference.ingest(base)
+        monkeypatch.undo()
+
+        for delta in stream.deltas:
+            fast.apply_delta(delta)
+            monkeypatch.setattr(
+                SeriesCompiler, "_insert_claims", self._np_insert_claims
+            )
+            reference.apply_delta(delta)
+            monkeypatch.undo()
+            for field in (
+                "_s_item", "_s_src", "_s_val", "_s_granc", "_s_key",
+                "_item_counts", "_active", "_key_sorted", "_key_pos",
+            ):
+                assert np.array_equal(
+                    getattr(fast, field), getattr(reference, field)
+                ), (delta.day, field)
+
+
 class TestSpliceKernel:
     def test_splice_with_no_dirty_items_is_identity(self, flight_snapshot):
         from repro.core.columnar import CompiledClusters

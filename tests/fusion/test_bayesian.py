@@ -46,7 +46,9 @@ class TestTruthFinder:
         problem = FusionProblem(ds)
         boosted = TruthFinder(rho=0.8)
         plain = TruthFinder(rho=0.0)
-        b_scores = boosted._votes(problem, boosted._initial_state(problem, None))
+        # _votes may return a per-problem scratch buffer (valid until the
+        # next vote kernel on the problem), so copy before comparing runs.
+        b_scores = boosted._votes(problem, boosted._initial_state(problem, None)).copy()
         p_scores = plain._votes(problem, plain._initial_state(problem, None))
         reps = [float(r) for r in problem.cluster_rep]
         near_idx = reps.index(101.5)
@@ -72,7 +74,7 @@ class TestAccuPr:
     def test_n_false_values_scales_confidence(self, problem):
         wide = AccuPr(n_false_values=1000.0)
         narrow = AccuPr(n_false_values=2.0)
-        wide_post = wide._votes(problem, wide._initial_state(problem, None))
+        wide_post = wide._votes(problem, wide._initial_state(problem, None)).copy()
         narrow_post = narrow._votes(problem, narrow._initial_state(problem, None))
         # A larger false-value domain makes agreement stronger evidence.
         start = problem.item_start[0]
@@ -108,7 +110,7 @@ class TestPopAccu:
         pr_method = AccuPr()
         pop_post = pop_method._votes(
             problem, pop_method._initial_state(problem, None)
-        )
+        ).copy()
         pr_post = pr_method._votes(
             problem, pr_method._initial_state(problem, None)
         )

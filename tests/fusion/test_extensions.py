@@ -83,6 +83,29 @@ class TestAccuCategory:
         assert set(result.extras["categories"]) == {"AA", "UA", "CO"}
         assert evaluate(flight_snapshot, flight_gold, result).precision > 0.6
 
+    def test_vote_counts_respect_the_claim_trust_override(self, flight_problem):
+        """The buffered ACCU vote gather must defer to custom trust layouts.
+
+        AccuCategory keeps trust as an (n_sources, n_categories) matrix read
+        through its ``_claim_trust`` override; with non-uniform trust the
+        vote counts must equal ``log(n * A / (1 - A))`` of that per-claim
+        trust, not of a flat gather over the matrix.
+        """
+        import numpy as np
+
+        method = AccuCategory()
+        state = method._initial_state(flight_problem, None)
+        rng = np.random.default_rng(3)
+        state["trust"] = rng.uniform(0.1, 0.9, size=state["trust"].shape)
+        accuracy = np.clip(
+            method._claim_trust(flight_problem, state), 0.02, 0.98
+        )
+        expected = np.log(
+            method.n_false_values * accuracy / (1.0 - accuracy)
+        )
+        counts = method._vote_counts(flight_problem, state)
+        assert np.array_equal(np.asarray(counts), expected)
+
 
 class TestPlausibleValues:
     def test_coherent_alternative_survives(self):

@@ -106,6 +106,22 @@ class TestStreamCommand:
         assert payload["method"] == "Vote"
         assert payload["trust"]
 
+    def test_sharded_stream_matches_unsharded(self, stream_dir, tmp_path, capsys):
+        flat_dir, shard_dir = tmp_path / "flat", tmp_path / "shard"
+        assert main([
+            "stream", str(stream_dir), "--method", "Vote",
+            "--output-dir", str(flat_dir),
+        ]) == 0
+        assert main([
+            "stream", str(stream_dir), "--method", "Vote", "--shards", "2",
+            "--output-dir", str(shard_dir),
+        ]) == 0
+        for day in ("d1", "d2"):
+            a = json.loads((flat_dir / f"{day}.Vote.json").read_text())
+            b = json.loads((shard_dir / f"{day}.Vote.json").read_text())
+            assert a["selected"] == b["selected"], day
+            assert a["trust"] == b["trust"], day
+
     def test_multiple_methods_and_cold_mode(self, stream_dir, capsys):
         assert main([
             "stream", str(stream_dir), "--method", "Vote",
@@ -245,6 +261,61 @@ class TestServeAndQuery:
             "query", str(store), "--object", "o1", "--attribute", "price",
         ]) == 0
         assert "11.0" in capsys.readouterr().out
+
+    def test_sharded_stream_serve_round_trip(self, tmp_path, capsys):
+        """`serve --shards K --stream` on a day directory == unsharded serve."""
+        days = tmp_path / "days"
+        days.mkdir()
+        for index, (first, third) in enumerate(((10.0, 77.0), (10.0, 10.0))):
+            ds = build_dataset(
+                {
+                    ("s1", "o1", "price"): first,
+                    ("s2", "o1", "price"): first,
+                    ("s3", "o1", "price"): third,
+                    ("s1", "o2", "price"): 5.0,
+                    ("s2", "o2", "price"): 5.0,
+                    ("s1", "o3", "gate"): "A1",
+                    ("s3", "o3", "gate"): "A1",
+                },
+                day=f"d{index}",
+            )
+            write_claims_csv(ds, days / f"0{index}.csv")
+        flat, sharded = tmp_path / "flat.json", tmp_path / "sharded.json"
+        assert main([
+            "serve", str(days), "--method", "Vote", "--method", "AccuSim",
+            "--store", str(flat),
+        ]) == 0
+        assert main([
+            "serve", str(days), "--method", "Vote", "--method", "AccuSim",
+            "--store", str(sharded), "--shards", "2", "--stream",
+        ]) == 0
+        a = json.loads(flat.read_text())
+        b = json.loads(sharded.read_text())
+        assert b["version"] == 2 and b["day"] == "d1"
+        assert a["truths"] == b["truths"]
+        assert a["trust"] == b["trust"]
+        assert main([
+            "query", str(sharded), "--object", "o1", "--attribute", "price",
+        ]) == 0
+        assert "10.0" in capsys.readouterr().out
+
+    def test_stream_flag_requires_a_directory(self, richer_csv, tmp_path, capsys):
+        assert main([
+            "serve", str(richer_csv), "--stream",
+            "--store", str(tmp_path / "s.json"),
+        ]) == 2
+        assert "--stream" in capsys.readouterr().err
+
+    def test_approximate_requires_shards(self, richer_csv, tmp_path, capsys):
+        assert main([
+            "serve", str(richer_csv), "--approximate",
+            "--store", str(tmp_path / "s.json"),
+        ]) == 2
+        assert "--shards" in capsys.readouterr().err
+        days = tmp_path / "d"
+        days.mkdir()
+        assert main(["stream", str(days), "--approximate"]) == 2
+        assert "--shards" in capsys.readouterr().err
 
     def test_serve_rejects_missing_source(self, tmp_path):
         assert main([

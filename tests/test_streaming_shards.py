@@ -1,0 +1,200 @@
+"""Sharded streaming: K per-shard series compilers vs the unsharded runner.
+
+The load-bearing guarantee: ``cross_shard="exact"`` splices the per-shard
+day compilations back into solver arrays bit-identical to the unsharded
+daily compile, so per-day selections, rounds, and trust **floats** match
+the unsharded :class:`~repro.streaming.StreamRunner` exactly — for all
+sixteen registered methods, on both the snapshot-ingest and explicit-delta
+paths, through store compaction.  ``cross_shard="independent"`` is the
+documented approximation: disjoint-item union with claim-weighted mean
+trust.
+"""
+
+import os
+
+import pytest
+
+from repro.errors import ConfigError, FusionError
+from repro.fusion.registry import METHOD_NAMES
+from repro.streaming import ShardedStreamCompiler, StreamRunner
+
+WORKERS = int(os.environ.get("REPRO_TEST_WORKERS", "4"))
+
+
+@pytest.fixture(scope="module")
+def stock():
+    from repro.experiments.context import get_context
+
+    return get_context("tiny").collection("stock")
+
+
+def _assert_steps_equal(reference, step, methods, day):
+    for name in methods:
+        a, b = reference.results[name], step.results[name]
+        assert b.selected == a.selected, (day, name)
+        assert b.rounds == a.rounds, (day, name)
+        for source, trust in a.trust.items():
+            # Bit-identical, not approximately equal: the merged arrays
+            # reproduce the unsharded float-summation order exactly.
+            assert b.trust[source] == trust, (day, name, source)
+
+
+class TestExactShardedStreaming:
+    def test_all_sixteen_methods_match_unsharded(self, stock):
+        methods = list(METHOD_NAMES)
+        reference = StreamRunner(methods, warm_start=True)
+        sharded = StreamRunner(
+            methods, warm_start=True, shards=3, cross_shard="exact"
+        )
+        for snapshot in list(stock.series)[:2]:
+            _assert_steps_equal(
+                reference.push(snapshot), sharded.push(snapshot),
+                methods, snapshot.day,
+            )
+
+    def test_delta_path_matches_unsharded(self, stock):
+        from repro.datagen import perturbed_claim_stream
+
+        methods = ["Vote", "AccuSim", "AccuCopy", "AccuSimAttr", "2-Estimates"]
+        base = stock.series.snapshots[0]
+        stream = perturbed_claim_stream(base, n_days=3, churn=0.03, seed=5)
+        reference = StreamRunner(methods, warm_start=True)
+        sharded = StreamRunner(
+            methods, warm_start=True, shards=3, cross_shard="exact"
+        )
+        _assert_steps_equal(
+            reference.push(stream.base), sharded.push(stream.base),
+            methods, stream.base.day,
+        )
+        for delta in stream.deltas:
+            _assert_steps_equal(
+                reference.push_delta(delta), sharded.push_delta(delta),
+                methods, delta.day,
+            )
+
+    def test_equivalence_survives_compaction(self, stock):
+        from repro.datagen import perturbed_claim_stream
+
+        methods = ["Vote", "AccuSim"]
+        base = stock.series.snapshots[0]
+        stream = perturbed_claim_stream(base, n_days=4, churn=0.3, seed=9)
+        reference = StreamRunner(methods, warm_start=True)
+        sharded = StreamRunner(
+            methods, warm_start=True, shards=3, cross_shard="exact"
+        )
+        for compiler in sharded.sharded.compilers:
+            compiler.max_inactive_ratio = 0.05
+        reference.push(stream.base)
+        sharded.push(stream.base)
+        compacted = False
+        for delta in stream.deltas:
+            a = reference.push_delta(delta)
+            b = sharded.push_delta(delta)
+            compacted |= b.stats.compacted
+            _assert_steps_equal(a, b, methods, delta.day)
+        assert compacted  # the low ratio must actually trigger compaction
+
+    def test_merged_stats_aggregate_the_shards(self, stock):
+        sharded = StreamRunner(["Vote"], shards=3, cross_shard="exact")
+        snapshot = stock.series.snapshots[0]
+        step = sharded.push(snapshot)
+        assert step.stats.n_active_claims == snapshot.num_claims
+        assert step.stats.n_added_claims == snapshot.num_claims
+
+
+class TestIndependentShardedStreaming:
+    def test_selected_items_partition_exactly(self, stock):
+        sharded = StreamRunner(
+            ["Vote", "AccuSim"], shards=3, cross_shard="independent"
+        )
+        for snapshot in list(stock.series)[:2]:
+            step = sharded.push(snapshot)
+            assert step.shard_results is not None
+            for name in ("Vote", "AccuSim"):
+                per_shard = [
+                    set(results[name].selected)
+                    for results in step.shard_results.values()
+                ]
+                union = set().union(*per_shard)
+                assert sum(len(s) for s in per_shard) == len(union)
+                assert union == set(step.results[name].selected)
+
+    def test_trust_is_claim_weighted_mean(self, stock):
+        snapshot = stock.series.snapshots[0]
+        sharded = StreamRunner(["Vote"], shards=2, cross_shard="independent")
+        step = sharded.push(snapshot)
+        merged = step.results["Vote"].trust
+        for source, value in merged.items():
+            lo = min(
+                results["Vote"].trust[source]
+                for results in step.shard_results.values()
+            )
+            hi = max(
+                results["Vote"].trust[source]
+                for results in step.shard_results.values()
+            )
+            assert lo - 1e-12 <= value <= hi + 1e-12, source
+
+    def test_warm_sessions_are_per_shard(self, stock):
+        sharded = StreamRunner(["AccuPr"], shards=2, cross_shard="independent")
+        first = sharded.push(stock.series.snapshots[0])
+        second = sharded.push(stock.series.snapshots[1])
+        for results in second.shard_results.values():
+            assert results["AccuPr"].extras["warm_started"]
+        for results in first.shard_results.values():
+            assert not results["AccuPr"].extras["warm_started"]
+
+    @pytest.mark.skipif(
+        not __import__("repro.parallel", fromlist=["SolveScheduler"])
+        .SolveScheduler(workers=2).parallel,
+        reason="platform has no usable shared memory",
+    )
+    def test_workers_match_serial(self, stock):
+        methods = ["Vote", "AccuSim"]
+        serial = StreamRunner(
+            methods, warm_start=True, shards=3, cross_shard="independent"
+        )
+        with StreamRunner(
+            methods, warm_start=True, shards=3,
+            cross_shard="independent", workers=WORKERS,
+        ) as parallel:
+            for snapshot in list(stock.series)[:2]:
+                a = serial.push(snapshot)
+                b = parallel.push(snapshot)
+                for name in methods:
+                    assert b.results[name].selected == a.results[name].selected
+                    for source, trust in a.results[name].trust.items():
+                        assert b.results[name].trust[source] == pytest.approx(
+                            trust, abs=1e-12
+                        ), (snapshot.day, name, source)
+
+
+class TestShardedStreamValidation:
+    def test_rejects_external_compiler(self):
+        from repro.core.delta import SeriesCompiler
+
+        with pytest.raises(ConfigError, match="mutually exclusive"):
+            StreamRunner(["Vote"], shards=2, compiler=SeriesCompiler())
+
+    def test_rejects_single_shard_compiler(self):
+        with pytest.raises(ConfigError):
+            ShardedStreamCompiler(1)
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ConfigError):
+            ShardedStreamCompiler(2, cross_shard="psychic")
+
+    def test_runner_validates_mode_even_unsharded(self):
+        with pytest.raises(ConfigError):
+            StreamRunner(["Vote"], cross_shard="psychic")
+
+    def test_runner_rejects_nonpositive_shards(self):
+        with pytest.raises(ConfigError, match=">= 1"):
+            StreamRunner(["Vote"], shards=0)
+
+    def test_delta_before_ingest_raises(self):
+        from repro.core.delta import ClaimDelta
+
+        runner = StreamRunner(["Vote"], shards=2)
+        with pytest.raises(FusionError, match="prior ingest"):
+            runner.push_delta(ClaimDelta(day="d1"))
