@@ -12,11 +12,17 @@ committed baseline payload:
 Absolute timings (query latencies, wall-clock seconds) are reported but
 never gated: hosted runners are too noisy for them.
 
+``--require KEY:MIN`` (repeatable) additionally asserts a hard floor on a
+current-summary key with no baseline counterpart — how the numba CI leg
+gates ``native_accu_solve_speedup_min`` without committing a baseline
+produced on a machine where numba cannot run.
+
 Usage::
 
     python benchmarks/check_regression.py \
         --baseline benchmarks/BENCH_small_baseline.json \
-        --current BENCH_fusion.json --threshold 0.25
+        --current BENCH_fusion.json --threshold 0.25 \
+        --require native_accu_solve_speedup_min:1.5
 """
 
 from __future__ import annotations
@@ -63,6 +69,36 @@ def compare(baseline: dict, current: dict, threshold: float) -> list:
     return failures
 
 
+def check_required(current: dict, requirements: Sequence[str]) -> list:
+    """Hard floors on current-summary keys (``KEY:MIN``), baseline-free."""
+    failures = []
+    summary = current.get("summary", {})
+    for requirement in requirements:
+        key, sep, floor_text = requirement.partition(":")
+        if not sep:
+            failures.append(f"--require {requirement!r}: expected KEY:MIN")
+            continue
+        try:
+            floor = float(floor_text)
+        except ValueError:
+            failures.append(
+                f"--require {requirement!r}: {floor_text!r} is not a number"
+            )
+            continue
+        value = summary.get(key)
+        if not isinstance(value, (int, float)):
+            failures.append(f"{key}: required >= {floor} but key is missing")
+            continue
+        status = "ok" if value >= floor else "BELOW FLOOR"
+        print(
+            f"[check] {key}: required >= {floor:.2f}, "
+            f"current {value:.2f} {status}"
+        )
+        if value < floor:
+            failures.append(f"{key}: {value:.2f} < required floor {floor:.2f}")
+    return failures
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", required=True,
@@ -71,6 +107,10 @@ def main(argv: Sequence[str] | None = None) -> int:
                         help="freshly produced payload (JSON)")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="allowed fractional speedup drop (default 0.25)")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="KEY:MIN",
+                        help="hard floor on a current-summary key with no "
+                             "baseline counterpart (repeatable)")
     args = parser.parse_args(argv)
 
     with open(args.baseline) as handle:
@@ -78,6 +118,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     with open(args.current) as handle:
         current = json.load(handle)
     failures = compare(baseline, current, args.threshold)
+    failures += check_required(current, args.require)
     if failures:
         print("[check] FAILED:")
         for failure in failures:

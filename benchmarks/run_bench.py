@@ -77,6 +77,16 @@ STREAM_CHURN = 0.003
 #: not need the last 1e-5 of trust precision; the bench cross-checks that
 #: cold selections at this tolerance match the exact engine's.
 STREAM_TOLERANCE = 1e-3
+#: Methods gated for the native-engine speedup summary: the ACCU/ATTR
+#: families, whose per-claim bayesian updates are what the fused numba
+#: programs target (AccuCopy has no native program — detection stays
+#: scipy-sparse — so it is absent here).
+NATIVE_GATE_METHODS = (
+    "AccuPr", "PopAccu", "AccuSim", "AccuFormat", "AccuSimAttr",
+    "AccuFormatAttr",
+)
+#: Methods profiled per kernel by ``--profile`` (one per kernel family).
+PROFILE_METHODS = ("Vote", "AccuPr", "PopAccu", "TruthFinder", "AccuSimAttr")
 
 
 def _best_of(repeat: int, fn: Callable[[], object]) -> float:
@@ -507,18 +517,103 @@ def bench_shard_stream(scale: str, workers: int) -> Dict[str, object]:
     }
 
 
-def bench_profile(scale: str, output: str) -> None:
-    """Dump cProfile stats for the fixed-point hot loop (``--profile``)."""
+def _profiled_solve(name: str, problem: FusionProblem, engine: str = "numpy"):
+    """One fixed-point solve through ``run_fixed_point`` with kernel timing.
+
+    Bypasses ``FusionMethod.run`` so a :class:`KernelProfiler` can ride
+    along; returns ``(selected, rounds, seconds, kernel_report)``.
+    """
+    from repro.fusion.spec import KernelProfiler, MethodSpec, run_fixed_point
+
+    spec = MethodSpec.of(make_method(name, engine=engine))
+    state = spec.initial_state(problem, None)
+    profiler = KernelProfiler()
+    started = time.perf_counter()
+    selected, rounds, _converged = run_fixed_point(
+        spec, problem, state, profiler=profiler
+    )
+    return selected, rounds, time.perf_counter() - started, profiler.report()
+
+
+def bench_engines(
+    domain: str, scale: str, engine: str, repeat: int
+) -> Dict[str, object]:
+    """Per-method solve timing with a per-kernel breakdown, per engine.
+
+    Every registered method solves on a prebuilt problem through the shared
+    fixed point with a :class:`KernelProfiler` attached, so the payload
+    records where each round's time goes: votes / argmax / trust_update /
+    convergence for the numpy loop, the fused ``native_round`` plus the
+    one-time ``native_build`` for the native programs.  With ``--engine
+    native`` (and numba importable) a native leg runs after an untimed
+    warm-up solve — numba compiles on first call and caches on disk — and
+    each entry gains the numpy/native speedup and a selection cross-check.
+    Methods without a fused program record ``native_program: false``; their
+    native leg is the numpy loop reached through the fallback.
+    """
+    from repro.fusion import native
+
+    collection = get_context(scale).collection(domain)
+    problem = FusionProblem(collection.snapshot)
+    native_leg = engine == "native" and native.available()
+    per_method: Dict[str, object] = {}
+    for name in BENCH_METHODS:
+        _profiled_solve(name, problem)  # warm the lazy edges untimed
+        best, best_kernels = float("inf"), {}
+        for _ in range(repeat):
+            selected, rounds, elapsed, kernels = _profiled_solve(name, problem)
+            if elapsed < best:
+                best, best_kernels = elapsed, kernels
+        entry: Dict[str, object] = {
+            "rounds": rounds,
+            "numpy_s": best,
+            "kernels": {"numpy": best_kernels},
+        }
+        if native_leg:
+            _profiled_solve(name, problem, engine="native")  # JIT warm-up
+            nat_best, nat_kernels = float("inf"), {}
+            for _ in range(repeat):
+                nat_sel, nat_rounds, elapsed, kernels = _profiled_solve(
+                    name, problem, engine="native"
+                )
+                if elapsed < nat_best:
+                    nat_best, nat_kernels = elapsed, kernels
+            entry["native_s"] = nat_best
+            entry["native_speedup"] = best / nat_best
+            entry["kernels"]["native"] = nat_kernels
+            entry["native_program"] = "native_round" in nat_kernels
+            entry["selections_equal"] = bool(
+                np.array_equal(selected, nat_sel) and rounds == nat_rounds
+            )
+        per_method[name] = entry
+    return {
+        "engine": engine,
+        "native_available": bool(native.available()),
+        "have_numba": bool(native.HAVE_NUMBA),
+        "methods": per_method,
+    }
+
+
+def bench_profile(
+    scale: str, output: str, engine: str = "numpy"
+) -> Dict[str, object]:
+    """Dump cProfile stats for the fixed-point hot loop (``--profile``).
+
+    Also returns the structured per-kernel breakdown (method -> kernel ->
+    seconds/calls) that ``main`` embeds into the JSON payload as
+    ``kernels``, so the hot-loop attribution accumulates across PRs
+    alongside the timings instead of living only in the pstats dump.
+    """
     import cProfile
     import pstats
 
     collection = get_context(scale).collection("stock")
     problem = FusionProblem(collection.snapshot)
-    for name in ("Vote", "AccuPr", "PopAccu", "TruthFinder", "AccuSimAttr"):
+    for name in PROFILE_METHODS:
         make_method(name).run(problem)  # warm the lazy edges outside profiling
     profiler = cProfile.Profile()
     profiler.enable()
-    for name in ("Vote", "AccuPr", "PopAccu", "TruthFinder", "AccuSimAttr"):
+    for name in PROFILE_METHODS:
         make_method(name).run(problem)
     profiler.disable()
     profiler.dump_stats(output)
@@ -526,6 +621,11 @@ def bench_profile(scale: str, output: str) -> None:
     stats.sort_stats("cumulative")
     print(f"[bench] fixed-point profile -> {output}")
     stats.print_stats("repro|reduceat|bincount|take", 15)
+    kernels: Dict[str, object] = {}
+    for name in PROFILE_METHODS:
+        *_, report = _profiled_solve(name, problem, engine=engine)
+        kernels[name] = report
+    return kernels
 
 
 def bench_sharding(scale: str, workers: int) -> Dict[str, object]:
@@ -679,17 +779,29 @@ def main(argv: Sequence[str] | None = None) -> int:
                              "(1 skips it; the payload records the value)")
     parser.add_argument("--profile", action="store_true",
                         help="dump cProfile stats for the fixed-point hot "
-                             "loop to BENCH_fixed_point.pstats")
+                             "loop to BENCH_fixed_point.pstats and embed the "
+                             "per-kernel breakdown into the JSON payload")
+    parser.add_argument("--engine", choices=("numpy", "native"),
+                        default="numpy",
+                        help="run the engines scenario's candidate leg on "
+                             "this engine (native needs numba; without it "
+                             "the payload records the fallback)")
     args = parser.parse_args(argv)
 
+    profile_kernels = None
     if args.profile:
-        bench_profile(args.scale, "BENCH_fixed_point.pstats")
+        profile_kernels = bench_profile(
+            args.scale, "BENCH_fixed_point.pstats", args.engine
+        )
 
     domains: Dict[str, object] = {}
     for domain in args.domains:
         print(f"[bench] {domain} @ {args.scale} ...", flush=True)
         domains[domain] = bench_domain(domain, args.scale, args.repeat)
         domains[domain]["streaming"] = bench_streaming(domain, args.scale)
+        domains[domain]["engines"] = bench_engines(
+            domain, args.scale, args.engine, args.repeat
+        )
         if args.workers > 1:
             domains[domain]["parallel"] = bench_parallel(
                 domain, args.scale, args.workers
@@ -706,6 +818,33 @@ def main(argv: Sequence[str] | None = None) -> int:
             f" (selections equal: {streaming['selections_equal']})",
             flush=True,
         )
+        engines = domains[domain]["engines"]
+        if args.engine == "native":
+            if engines["native_available"]:
+                fused = [
+                    entry for entry in engines["methods"].values()
+                    if entry.get("native_program")
+                ]
+                fused_min = min(
+                    (entry["native_speedup"] for entry in fused),
+                    default=float("nan"),
+                )
+                equal = all(
+                    entry["selections_equal"]
+                    for entry in engines["methods"].values()
+                )
+                print(
+                    f"[bench] {domain}: native engine x{fused_min:.1f} min "
+                    f"over {len(fused)} fused methods "
+                    f"(selections equal: {equal})",
+                    flush=True,
+                )
+            else:
+                print(
+                    f"[bench] {domain}: native engine requested but numba "
+                    "is unavailable; engines scenario recorded numpy only",
+                    flush=True,
+                )
         if "parallel" in domains[domain]:
             par = domains[domain]["parallel"]
             print(
@@ -771,6 +910,28 @@ def main(argv: Sequence[str] | None = None) -> int:
             domains[d]["parallel"]["figure9_sweep"]["batched_speedup"]
             for d in domains
         )
+    native_legs = [
+        domains[d]["engines"] for d in domains
+        if domains[d]["engines"]["engine"] == "native"
+        and domains[d]["engines"]["native_available"]
+    ]
+    if native_legs:
+        # Gated on the ACCU/ATTR families only — the fused programs the
+        # native engine exists for.  Keys appear only when native actually
+        # ran, so the no-numba bench never emits a fake ratio.
+        gate_speedups = [
+            leg["methods"][name]["native_speedup"]
+            for leg in native_legs
+            for name in NATIVE_GATE_METHODS
+            if leg["methods"][name].get("native_program")
+        ]
+        if gate_speedups:
+            summary["native_accu_solve_speedup_min"] = min(gate_speedups)
+        summary["native_selections_equal"] = all(
+            entry["selections_equal"]
+            for leg in native_legs
+            for entry in leg["methods"].values()
+        )
     summary["sharding_exact_equal"] = all(
         entry["exact_equal"] for entry in sharding["by_shard_count"].values()
     )
@@ -779,6 +940,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     payload = {
         "scale": args.scale,
         "workers": args.workers,
+        "engine": args.engine,
         "python": platform.python_version(),
         "numpy": np.__version__,
         "cpu_count": os.cpu_count(),
@@ -788,6 +950,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "shard_stream": shard_stream,
         "summary": summary,
     }
+    if profile_kernels is not None:
+        payload["kernels"] = profile_kernels
     with open(args.output, "w") as handle:
         json.dump(payload, handle, indent=2)
     print(f"[bench] wrote {args.output}")

@@ -64,6 +64,8 @@ def _method_kwargs(args: argparse.Namespace) -> dict:
         kwargs["max_rounds"] = args.max_rounds
     if getattr(args, "tolerance", None) is not None:
         kwargs["tolerance"] = args.tolerance
+    if getattr(args, "engine", None) is not None:
+        kwargs["engine"] = args.engine
     return kwargs
 
 
@@ -367,6 +369,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="cap on fixed-point rounds (method default: 60)")
     fuse.add_argument("--tolerance", type=float, default=None,
                       help="L-inf trust convergence threshold (default 1e-5)")
+    fuse.add_argument("--engine", choices=("numpy", "native"), default=None,
+                      help="fixed-point execution engine (default: "
+                           "REPRO_ENGINE env var, then numpy; native needs "
+                           "numba and falls back to numpy with a warning)")
     fuse.add_argument("--workers", type=int, default=1,
                       help="worker processes when several methods are given")
     fuse.set_defaults(func=_cmd_fuse)
@@ -392,6 +398,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="cap on fixed-point rounds (method default: 60)")
     stream.add_argument("--tolerance", type=float, default=None,
                         help="L-inf trust convergence threshold (default 1e-5)")
+    stream.add_argument("--engine", choices=("numpy", "native"), default=None,
+                        help="fixed-point execution engine (default: "
+                             "REPRO_ENGINE env var, then numpy)")
     stream.add_argument("--workers", type=int, default=1,
                         help="solve each day's methods across this many workers")
     stream.add_argument("--shards", type=int, default=1,
@@ -430,6 +439,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cap on fixed-point rounds (method default: 60)")
     serve.add_argument("--tolerance", type=float, default=None,
                        help="L-inf trust convergence threshold (default 1e-5)")
+    serve.add_argument("--engine", choices=("numpy", "native"), default=None,
+                       help="fixed-point execution engine (default: "
+                            "REPRO_ENGINE env var, then numpy)")
     serve.set_defaults(func=_cmd_serve)
 
     query = sub.add_parser(

@@ -22,6 +22,7 @@ Table 7), and result packaging.  Concrete methods override
 from __future__ import annotations
 
 import abc
+import os
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -55,6 +56,34 @@ FORMAT_WEIGHT = 0.5
 #: Tests use it to assert that scheduler paths which are supposed to be
 #: compile-free in the parent (the view-only shard export) really are.
 PROBLEM_COMPILES = 0
+
+#: The execution engines the fixed-point solver can run on.
+ENGINES = ("numpy", "native")
+
+
+def resolve_engine(engine: Optional[str]) -> str:
+    """Resolve an engine request against ``REPRO_ENGINE`` and availability.
+
+    An explicit ``engine`` argument (the CLI's ``--engine`` flag) wins over
+    the ``REPRO_ENGINE`` environment variable, which wins over the default
+    ``"numpy"``.  Requesting ``"native"`` without numba installed degrades
+    to ``"numpy"`` with a single warning per process — results are
+    identical, the native engine only changes how the rounds execute.
+    """
+    if engine is None:
+        engine = os.environ.get("REPRO_ENGINE", "").strip() or "numpy"
+    engine = str(engine).strip().lower()
+    if engine not in ENGINES:
+        raise FusionError(
+            f"unknown execution engine {engine!r}; choose one of {ENGINES}"
+        )
+    if engine == "native":
+        from repro.fusion import native
+
+        if not native.available():
+            native.warn_unavailable()
+            engine = "numpy"
+    return engine
 
 
 class FusionProblem:
@@ -403,6 +432,24 @@ class FusionProblem:
             bufs[key] = buf
         return buf
 
+    def adopt_scratch(self, donor: "FusionProblem") -> None:
+        """Inherit ``donor``'s scratch buffers instead of growing our own.
+
+        Warm streaming steps retire yesterday's problem the moment the new
+        day's is compiled; adopting its pool hands the solver's buffers
+        (``conv_delta``, the argmax scratch, ...) to the new problem so a
+        warm day with an unchanged source universe reallocates nothing.
+        Safe regardless of shape drift: :meth:`scratch` revalidates shape
+        and dtype on every call, so a stale buffer is simply replaced on
+        first use.  Buffers we already own are kept (they are in use).
+        """
+        bufs = donor.__dict__.get("_scratch_bufs")
+        if not bufs:
+            return
+        mine = self.__dict__.setdefault("_scratch_bufs", {})
+        for key, buf in bufs.items():
+            mine.setdefault(key, buf)
+
     def _invariant(self, key: str, build) -> np.ndarray:
         cache = self.__dict__.setdefault("_invariant_cache", {})
         value = cache.get(key)
@@ -576,9 +623,11 @@ class FusionMethod(abc.ABC):
     uses_copy_detection: bool = False
 
     def __init__(self, max_rounds: int = DEFAULT_MAX_ROUNDS,
-                 tolerance: float = DEFAULT_TOLERANCE):
+                 tolerance: float = DEFAULT_TOLERANCE,
+                 engine: Optional[str] = None):
         self.max_rounds = max_rounds
         self.tolerance = tolerance
+        self.engine = resolve_engine(engine)
 
     # ------------------------------------------------------------------ API
     def run(

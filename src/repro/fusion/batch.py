@@ -245,6 +245,20 @@ class RestrictionSweep:
         spec = MethodSpec.of(method)
         live = sum(1 for sub in self.subs if sub is not None)
         if batched and spec.name in BATCH_SAFE_METHODS and live > 1:
+            if spec.engine == "native":
+                from repro.fusion import native
+
+                if native.supports(spec):
+                    # The multiplexed batch exists to amortize numpy kernel
+                    # dispatch across many small jobs; a fused native round
+                    # has no dispatch to amortize, so each restriction runs
+                    # its own native fixed point (the compilations above are
+                    # still shared).
+                    return [
+                        _empty_outcome(self.base, subset) if sub is None
+                        else _solo_outcome(sub, spec, package)
+                        for subset, sub in zip(self.subsets, self.subs)
+                    ]
             return _solve_batched(self, spec, package)
         return self._solve_per_job(method)
 

@@ -56,6 +56,15 @@ class MethodSpec:
     update_trust: Callable[[FusionProblem, State, np.ndarray, np.ndarray], np.ndarray]
     package: Callable[..., FusionResult]
     uses_copy_detection: bool = False
+    #: Which execution engine drives the fixed point: ``"numpy"`` runs the
+    #: vote/trust kernels above; ``"native"`` dispatches to the fused
+    #: numba programs in :mod:`repro.fusion.native` (falling back to the
+    #: kernels above per method when no native program exists).
+    engine: str = "numpy"
+    #: The originating method instance — the native engine reads its
+    #: parameters (growth, damping, n_false_values, ...) and guards on its
+    #: exact class so subclassed methods keep their custom kernels.
+    method: Optional[FusionMethod] = None
 
     @classmethod
     def of(cls, method: Union["MethodSpec", FusionMethod]) -> "MethodSpec":
@@ -77,7 +86,35 @@ class MethodSpec:
             update_trust=method._update_trust,
             package=method._package,
             uses_copy_detection=getattr(method, "uses_copy_detection", False),
+            engine=getattr(method, "engine", "numpy"),
+            method=method,
         )
+
+
+class KernelProfiler:
+    """Accumulates wall-clock per named solver phase (``--profile`` bench).
+
+    Passed into :func:`run_fixed_point`; the numpy loop attributes each
+    round to its four phases (votes / argmax / trust_update / convergence)
+    and the native engine reports its fused round and one-time program
+    build, so the numpy-vs-native win is attributable per primitive.
+    """
+
+    __slots__ = ("seconds", "calls")
+
+    def __init__(self):
+        self.seconds: Dict[str, float] = {}
+        self.calls: Dict[str, int] = {}
+
+    def add(self, name: str, elapsed: float) -> None:
+        self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
+        self.calls[name] = self.calls.get(name, 0) + 1
+
+    def report(self) -> Dict[str, Dict[str, float]]:
+        return {
+            name: {"seconds": self.seconds[name], "calls": self.calls[name]}
+            for name in sorted(self.seconds)
+        }
 
 
 def run_fixed_point(
@@ -85,6 +122,7 @@ def run_fixed_point(
     problem: FusionProblem,
     state: State,
     freeze_trust: bool = False,
+    profiler: Optional[KernelProfiler] = None,
 ) -> Tuple[np.ndarray, int, bool]:
     """Drive ``spec``'s vote/trust kernels to a fixed point on ``problem``.
 
@@ -92,18 +130,43 @@ def run_fixed_point(
     workers (:mod:`repro.parallel`): mutates ``state`` in place and returns
     ``(selected, rounds, converged)``.  Callers that warm-start overwrite
     ``state["trust"]`` before calling.
+
+    With ``spec.engine == "native"`` the round dispatches to the fused
+    numba program of :mod:`repro.fusion.native` when the method has one;
+    methods without a native program (and the freeze-trust mode, which is a
+    single vote pass) fall through to the numpy loop below.
     """
+    if spec.engine == "native" and not freeze_trust:
+        from repro.fusion import native
+
+        outcome = native.solve(spec, problem, state, profiler=profiler)
+        if outcome is not None:
+            return outcome
     rounds = 0
     converged = False
     selected = None
+    profiled = profiler is not None
+    t0 = time.perf_counter() if profiled else 0.0
     for rounds in range(1, spec.max_rounds + 1):
         scores = spec.votes(problem, state)
+        if profiled:
+            t1 = time.perf_counter()
+            profiler.add("votes", t1 - t0)
+            t0 = t1
         selected = problem.argmax_per_item(scores)
+        if profiled:
+            t1 = time.perf_counter()
+            profiler.add("argmax", t1 - t0)
+            t0 = t1
         if freeze_trust:
             converged = True
             break
         trust = state["trust"]
         new_trust = spec.update_trust(problem, state, scores, selected)
+        if profiled:
+            t1 = time.perf_counter()
+            profiler.add("trust_update", t1 - t0)
+            t0 = t1
         if new_trust.size:
             # Fused convergence norm: |new - old| reduced in one scratch
             # buffer instead of two fresh temporaries per round.
@@ -114,6 +177,10 @@ def run_fixed_point(
         else:
             delta = 0.0
         state["trust"] = new_trust
+        if profiled:
+            t1 = time.perf_counter()
+            profiler.add("convergence", t1 - t0)
+            t0 = t1
         if delta < spec.tolerance:
             converged = True
             break
@@ -216,6 +283,15 @@ class FusionSession:
             # entry (difficulty, independence, ...) is problem-shaped and
             # starts fresh from the spec's initial state.
             state["trust"] = self._rebased_trust(problem, state["trust"])
+            if (
+                self.problem is not None
+                and problem is not self.problem
+                and self._sources == problem.sources
+            ):
+                # Same source universe: yesterday's solver buffers (the
+                # trust-shaped conv_delta in particular) fit today's solve
+                # exactly — inherit them instead of reallocating the pool.
+                problem.adopt_scratch(self.problem)
 
         selected, rounds, converged = run_fixed_point(
             spec, problem, state, freeze_trust

@@ -37,7 +37,7 @@ import pickle
 import shutil
 import tempfile
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -822,15 +822,18 @@ class SolveScheduler:
 def _normalize_calls(
     calls: Sequence[Union[str, MethodCall]],
     method_kwargs: Optional[Dict[str, dict]] = None,
+    engine: Optional[str] = None,
 ) -> List[MethodCall]:
     normalized = []
     for call in calls:
-        if isinstance(call, MethodCall):
-            normalized.append(call)
-        else:
-            normalized.append(
-                MethodCall(call, kwargs=dict((method_kwargs or {}).get(call, {})))
-            )
+        if not isinstance(call, MethodCall):
+            call = MethodCall(call, kwargs=dict((method_kwargs or {}).get(call, {})))
+        if engine is not None and "engine" not in call.kwargs:
+            # Engine selection rides in the call kwargs, so each worker's
+            # make_method() resolves it locally — native programs compile
+            # once per worker process and reuse numba's on-disk cache.
+            call = replace(call, kwargs={**call.kwargs, "engine": engine})
+        normalized.append(call)
     return normalized
 
 
@@ -851,9 +854,10 @@ def solve_methods(
     key: Optional[str] = None,
     evaluate: bool = False,
     method_kwargs: Optional[Dict[str, dict]] = None,
+    engine: Optional[str] = None,
 ) -> List[CallOutcome]:
     """Run several method calls on one compiled problem, optionally parallel."""
-    plan = _normalize_calls(calls, method_kwargs)
+    plan = _normalize_calls(calls, method_kwargs, engine)
     own: Optional[SolveScheduler] = None
     sched = scheduler
     if sched is None:
@@ -887,6 +891,7 @@ def solve_sweep(
     evaluate: bool = True,
     batched: bool = True,
     return_selection: bool = False,
+    engine: Optional[str] = None,
 ) -> List[List[CallOutcome]]:
     """Solve every (subset, call) pair; returns subset-major outcomes.
 
@@ -894,7 +899,7 @@ def solve_sweep(
     and large prefixes interleave, balancing the chunks) and each chunk
     runs through the batched solver where the method allows.
     """
-    plan = _normalize_calls(calls)
+    plan = _normalize_calls(calls, None, engine)
     subset_lists = [list(s) for s in subsets]
     own: Optional[SolveScheduler] = None
     sched = scheduler

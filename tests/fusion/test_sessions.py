@@ -111,6 +111,48 @@ class TestWarmSessions:
             result = warm.update(delta)
         assert result.rounds <= cold_rounds
 
+    def test_warm_restart_reuses_convergence_scratch(self):
+        """Same source universe across days -> the trust-shaped solver
+        buffers (conv_delta in particular) carry over instead of being
+        reallocated by every day's freshly compiled problem."""
+        base = build_dataset({
+            ("good", "o1", "price"): 10.0,
+            ("bad", "o1", "price"): 99.0,
+            ("other", "o1", "price"): 10.0,
+        })
+        session = FusionSession(make_method("AccuPr"), warm_start=True)
+        session.advance(base)
+        first_problem = session.problem
+        buffer = first_problem._scratch_bufs["conv_delta"]
+        delta = ClaimDelta(
+            day="d1",
+            added=(("bad", DataItem("o1", "price"), Claim(value=98.0)),),
+        )
+        session.update(delta)
+        assert session.problem is not first_problem
+        assert session.problem._scratch_bufs["conv_delta"] is buffer
+
+    def test_new_source_breaks_scratch_adoption(self):
+        from repro.core.records import SourceMeta
+
+        base = build_dataset({
+            ("good", "o1", "price"): 10.0,
+            ("bad", "o1", "price"): 99.0,
+        })
+        session = FusionSession(make_method("AccuPr"), warm_start=True)
+        session.advance(base)
+        buffer = session.problem._scratch_bufs["conv_delta"]
+        delta = ClaimDelta(
+            day="d1",
+            added=(("fresh", DataItem("o1", "price"), Claim(value=10.0)),),
+            new_sources=(SourceMeta("fresh"),),
+        )
+        result = session.update(delta)
+        # Different source universe: the old trust-shaped buffer no longer
+        # fits, so the new problem allocates its own.
+        assert session.problem._scratch_bufs["conv_delta"] is not buffer
+        assert result.trust["fresh"] > 0.0
+
     def test_new_source_mid_stream_gets_initial_trust(self):
         from repro.core.records import SourceMeta
 

@@ -1,10 +1,12 @@
 """The repro.cli command-line interface."""
 
 import json
+import warnings
 
 import pytest
 
 from repro.cli import main
+from repro.fusion import native
 from repro.io import write_claims_csv, write_gold_csv
 
 from tests.helpers import build_dataset, build_gold
@@ -78,6 +80,71 @@ class TestFuseSolverFlags:
             json.loads(loose.read_text())["rounds"]
             <= json.loads(strict.read_text())["rounds"]
         )
+
+
+class TestEngineFlag:
+    """`--engine` / `REPRO_ENGINE` precedence and the no-numba fallback."""
+
+    def _fuse(self, claims_csv, tmp_path, extra, name):
+        output = tmp_path / name
+        assert main([
+            "fuse", str(claims_csv), "--method", "AccuPr",
+            "-o", str(output),
+        ] + extra) == 0
+        return json.loads(output.read_text())
+
+    def test_native_engine_matches_numpy(
+        self, claims_csv, tmp_path, monkeypatch
+    ):
+        monkeypatch.setattr(native, "FORCE", True)
+        ref = self._fuse(claims_csv, tmp_path, ["--engine", "numpy"], "a.json")
+        nat = self._fuse(claims_csv, tmp_path, ["--engine", "native"], "b.json")
+        assert nat["selected"] == ref["selected"]
+        assert nat["rounds"] == ref["rounds"]
+        assert nat["converged"] == ref["converged"]
+
+    def test_native_without_numba_warns_once_and_falls_back(
+        self, claims_csv, tmp_path, monkeypatch
+    ):
+        if native.HAVE_NUMBA:
+            pytest.skip("numba installed: the fallback path is unreachable")
+        monkeypatch.setattr(native, "FORCE", False)
+        monkeypatch.setattr(native, "_WARNED", False)
+        with pytest.warns(RuntimeWarning, match="falling back to the numpy"):
+            nat = self._fuse(
+                claims_csv, tmp_path, ["--engine", "native"], "nat.json"
+            )
+        ref = self._fuse(claims_csv, tmp_path, ["--engine", "numpy"], "np.json")
+        assert nat["selected"] == ref["selected"]
+        assert nat["trust"] == ref["trust"]
+        # One warning per process: a second native request stays silent.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            self._fuse(claims_csv, tmp_path, ["--engine", "native"], "c.json")
+
+    def test_env_var_engages_native_when_flag_absent(
+        self, claims_csv, tmp_path, monkeypatch
+    ):
+        if native.HAVE_NUMBA:
+            pytest.skip("numba installed: no fallback warning to observe")
+        monkeypatch.setenv("REPRO_ENGINE", "native")
+        monkeypatch.setattr(native, "FORCE", False)
+        monkeypatch.setattr(native, "_WARNED", False)
+        # The warning is the proof the env var reached engine resolution.
+        with pytest.warns(RuntimeWarning, match="falling back to the numpy"):
+            self._fuse(claims_csv, tmp_path, [], "env.json")
+
+    def test_engine_flag_overrides_env_var(
+        self, claims_csv, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_ENGINE", "native")
+        monkeypatch.setattr(native, "FORCE", False)
+        monkeypatch.setattr(native, "_WARNED", False)
+        # --engine numpy never touches native resolution, so no fallback
+        # warning can fire even though the env var asks for native.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            self._fuse(claims_csv, tmp_path, ["--engine", "numpy"], "f.json")
 
 
 class TestStreamCommand:
