@@ -15,14 +15,19 @@ never gated: hosted runners are too noisy for them.
 ``--require KEY:MIN`` (repeatable) additionally asserts a hard floor on a
 current-summary key with no baseline counterpart — how the numba CI leg
 gates ``native_accu_solve_speedup_min`` without committing a baseline
-produced on a machine where numba cannot run.
+produced on a machine where numba cannot run.  ``--require-max KEY:MAX``
+is the mirror-image ceiling, for latency keys where *smaller* is better —
+how CI gates the serving scenario's ``serving_lookup_p99_ms`` (the bound
+is deliberately generous: it catches a serve path collapsing into
+head-of-line blocking, not runner-to-runner jitter).
 
 Usage::
 
     python benchmarks/check_regression.py \
         --baseline benchmarks/BENCH_small_baseline.json \
         --current BENCH_fusion.json --threshold 0.25 \
-        --require native_accu_solve_speedup_min:1.5
+        --require native_accu_solve_speedup_min:1.5 \
+        --require-max serving_lookup_p99_ms:250
 """
 
 from __future__ import annotations
@@ -99,6 +104,39 @@ def check_required(current: dict, requirements: Sequence[str]) -> list:
     return failures
 
 
+def check_required_max(current: dict, requirements: Sequence[str]) -> list:
+    """Hard ceilings on current-summary keys (``KEY:MAX``), baseline-free."""
+    failures = []
+    summary = current.get("summary", {})
+    for requirement in requirements:
+        key, sep, ceiling_text = requirement.partition(":")
+        if not sep:
+            failures.append(f"--require-max {requirement!r}: expected KEY:MAX")
+            continue
+        try:
+            ceiling = float(ceiling_text)
+        except ValueError:
+            failures.append(
+                f"--require-max {requirement!r}: "
+                f"{ceiling_text!r} is not a number"
+            )
+            continue
+        value = summary.get(key)
+        if not isinstance(value, (int, float)):
+            failures.append(f"{key}: required <= {ceiling} but key is missing")
+            continue
+        status = "ok" if value <= ceiling else "ABOVE CEILING"
+        print(
+            f"[check] {key}: required <= {ceiling:.2f}, "
+            f"current {value:.2f} {status}"
+        )
+        if value > ceiling:
+            failures.append(
+                f"{key}: {value:.2f} > required ceiling {ceiling:.2f}"
+            )
+    return failures
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", required=True,
@@ -111,6 +149,11 @@ def main(argv: Sequence[str] | None = None) -> int:
                         metavar="KEY:MIN",
                         help="hard floor on a current-summary key with no "
                              "baseline counterpart (repeatable)")
+    parser.add_argument("--require-max", action="append", default=[],
+                        metavar="KEY:MAX",
+                        help="hard ceiling on a current-summary key — for "
+                             "latency keys where smaller is better "
+                             "(repeatable)")
     args = parser.parse_args(argv)
 
     with open(args.baseline) as handle:
@@ -119,6 +162,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         current = json.load(handle)
     failures = compare(baseline, current, args.threshold)
     failures += check_required(current, args.require)
+    failures += check_required_max(current, args.require_max)
     if failures:
         print("[check] FAILED:")
         for failure in failures:

@@ -13,7 +13,11 @@ Times the four rebuilt layers on both generated domains —
   ``restrict_sources`` vs per-prefix dataset copies + legacy compiles;
 * **parallel** (``--workers N``, N > 1) — the Figure 9 sweep and the
   16-method comparison through the batched restriction solver and the
-  shared-memory solve scheduler, vs the serial vectorized path —
+  shared-memory solve scheduler, vs the serial vectorized path;
+* **serving** — the asyncio HTTP front-end under load: concurrent clients
+  hammering ``/lookup`` and ``/ensemble`` against a store re-published live
+  underneath them, recording serve p50/p99, publish-visible latency, and a
+  torn/failed-read count that must stay zero —
 
 and writes the measurements to ``BENCH_fusion.json`` so the perf trajectory
 accumulates across PRs.  The sweep also cross-checks that both paths produce
@@ -766,6 +770,140 @@ def bench_sharding(scale: str, workers: int) -> Dict[str, object]:
     }
 
 
+#: Serving scenario shape: concurrent HTTP clients, live re-publishes, and
+#: the pause between publishes (the CI-scale stand-in for the "store
+#: re-published every few hundred ms" production cadence).
+SERVING_CLIENTS = 8
+SERVING_PUBLISHES = 60
+SERVING_PUBLISH_INTERVAL_S = 0.004
+SERVING_ITEMS = {"tiny": 64, "small": 192, "default": 512, "paper": 1024}
+
+
+def bench_serving(scale: str) -> Dict[str, object]:
+    """The asyncio HTTP front-end under live re-publishes.
+
+    ``SERVING_CLIENTS`` keep-alive HTTP clients hammer ``/lookup`` and
+    ``/ensemble`` against a :class:`TruthServer` while the store is
+    re-published ``SERVING_PUBLISHES`` times underneath them.  Every
+    published value and trust encodes its version (``value ==
+    float(version)``), so a torn read — any response mixing versions — is
+    detectable from the payload alone; per-connection version rewinds are
+    counted the same way.  Records serve p50/p99 per endpoint, the
+    publish-visible latency (publish call start to the first response
+    carrying the new version), and the torn/failed counters the CI gate
+    keys on (``serving_reads_equal``).
+    """
+    import http.client
+    import threading
+
+    from repro.core.records import DataItem
+    from repro.fusion.base import FusionResult
+    from repro.server import run_in_thread
+    from repro.serving import TruthStore
+
+    n_items = SERVING_ITEMS[scale]
+    items = [DataItem(f"o{i}", "price") for i in range(n_items)]
+
+    def results_for(version: int):
+        value = float(version)
+        return {
+            name: FusionResult(
+                method=name,
+                selected={item: value for item in items},
+                trust={"s1": value},
+            )
+            for name in ("Vote", "AccuSim")
+        }
+
+    store = TruthStore(monotonic_days=True)
+    store.publish("day0001", results_for(1))
+    stop = threading.Event()
+
+    def client(index: int, out: Dict[str, object]) -> None:
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+        last_version, pick = 0, index
+        try:
+            while not stop.is_set():
+                item = items[pick % n_items]
+                pick += 7  # deterministic spread over the item space
+                endpoint = "ensemble" if pick % 3 == 0 else "lookup"
+                started = time.perf_counter()
+                conn.request(
+                    "GET",
+                    f"/{endpoint}?object={item.object_id}"
+                    f"&attribute={item.attribute}",
+                )
+                response = conn.getresponse()
+                body = json.loads(response.read())
+                elapsed = time.perf_counter() - started
+                if response.status != 200:
+                    out["failed"] += 1
+                    continue
+                out[endpoint].append(elapsed)
+                if (
+                    body["value"] != float(body["version"])
+                    or body["version"] < last_version
+                ):
+                    out["torn"] += 1
+                last_version = body["version"]
+        except OSError:
+            if not stop.is_set():
+                out["failed"] += 1
+        finally:
+            conn.close()
+
+    outs = [
+        {"lookup": [], "ensemble": [], "torn": 0, "failed": 0}
+        for _ in range(SERVING_CLIENTS)
+    ]
+    visible_times = []
+    with run_in_thread(store) as handle:
+        port = handle.port
+        threads = [
+            threading.Thread(target=client, args=(index, out))
+            for index, out in enumerate(outs)
+        ]
+        for thread in threads:
+            thread.start()
+        probe = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+        try:
+            for version in range(2, SERVING_PUBLISHES + 2):
+                results = results_for(version)
+                started = time.perf_counter()
+                store.publish(f"day{version:04d}", results)
+                while True:  # first response carrying the new version
+                    probe.request("GET", "/health")
+                    seen = json.loads(probe.getresponse().read())["version"]
+                    if seen >= version:
+                        break
+                visible_times.append(time.perf_counter() - started)
+                time.sleep(SERVING_PUBLISH_INTERVAL_S)
+        finally:
+            probe.close()
+        stop.set()
+        for thread in threads:
+            thread.join(30)
+    lookup_times = [t for out in outs for t in out["lookup"]]
+    ensemble_times = [t for out in outs for t in out["ensemble"]]
+    torn = sum(out["torn"] for out in outs)
+    failed = sum(out["failed"] for out in outs)
+    return {
+        "scale": scale,
+        "clients": SERVING_CLIENTS,
+        "publishes": SERVING_PUBLISHES,
+        "publish_interval_s": SERVING_PUBLISH_INTERVAL_S,
+        "n_items": n_items,
+        "requests": len(lookup_times) + len(ensemble_times),
+        "lookup": _percentiles(lookup_times),
+        "ensemble": _percentiles(ensemble_times),
+        "publish_visible": _percentiles(visible_times),
+        "torn_reads": torn,
+        "failed_reads": failed,
+        "reads_ok": torn == 0 and failed == 0,
+        "final_version": store.version,
+    }
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--scale", default="small",
@@ -886,6 +1024,21 @@ def main(argv: Sequence[str] | None = None) -> int:
         flush=True,
     )
 
+    print(f"[bench] serving @ {args.scale} ...", flush=True)
+    serving = bench_serving(args.scale)
+    print(
+        f"[bench] serving: {serving['clients']} clients x"
+        f" {serving['publishes']} live publishes,"
+        f" {serving['requests']} reads,"
+        f" lookup p99 {serving['lookup']['p99_us'] / 1000:.2f}ms /"
+        f" ensemble p99 {serving['ensemble']['p99_us'] / 1000:.2f}ms,"
+        f" publish visible p99"
+        f" {serving['publish_visible']['p99_us'] / 1000:.2f}ms"
+        f" (torn: {serving['torn_reads']},"
+        f" failed: {serving['failed_reads']})",
+        flush=True,
+    )
+
     sweeps = [domains[d]["figure9_sweep"]["speedup"] for d in domains]
     compiles = [domains[d]["compile"]["speedup_warm"] for d in domains]
     summary = {
@@ -937,6 +1090,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     summary["sharding_query_p99_us"] = sharding["queries"]["lookup"]["p99_us"]
     summary["shard_stream_selections_equal"] = shard_stream["selections_equal"]
+    summary["serving_reads_equal"] = serving["reads_ok"]
+    summary["serving_lookup_p99_ms"] = serving["lookup"]["p99_us"] / 1000
+    summary["serving_ensemble_p99_ms"] = serving["ensemble"]["p99_us"] / 1000
+    summary["serving_publish_visible_p99_ms"] = (
+        serving["publish_visible"]["p99_us"] / 1000
+    )
     payload = {
         "scale": args.scale,
         "workers": args.workers,
@@ -948,6 +1107,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "domains": domains,
         "sharding": sharding,
         "shard_stream": shard_stream,
+        "serving": serving,
         "summary": summary,
     }
     if profile_kernels is not None:

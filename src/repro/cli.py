@@ -6,6 +6,8 @@ Usage::
     python -m repro.cli fuse claims.csv --method AccuCopy --gold gold.csv
     python -m repro.cli stream days/ --method AccuSim --output-dir out/
     python -m repro.cli serve claims.csv --shards 4 --store store.json
+    python -m repro.cli serve days/ --stream --listen 8080 --store store.json
+    python -m repro.cli serve store.json --listen 127.0.0.1:8080
     python -m repro.cli query store.json --object o1 --attribute price
     python -m repro.cli export-demo stock claims.csv --gold gold.csv
     python -m repro.cli methods
@@ -20,6 +22,15 @@ daily CSVs through warm sessions — into a versioned
 :class:`~repro.serving.TruthStore` JSON file; ``query`` answers point
 lookups, ensemble answers, and trust reads from that file without
 re-solving anything.
+
+With ``--listen [HOST:]PORT`` ``serve`` additionally exposes the store over
+HTTP (:mod:`repro.server`): point lookups, trust reads, ensemble answers,
+``/health``, a chunked ``/dump``, and an SSE ``/events`` stream that
+surfaces each day's publish and solve progress live.  The listener starts
+*before* the solves, so in streaming mode clients watch versions appear as
+days land; the store is built with ``monotonic_days=True`` so a delayed
+re-publish of an older day can never overwrite a newer snapshot.  A
+prebuilt store JSON can be served directly (``serve store.json --listen``).
 """
 
 from __future__ import annotations
@@ -204,13 +215,82 @@ def _stream_loop(args, directory, methods, runner, output_dir) -> int:
     return 0
 
 
+def _parse_listen(text: str) -> Optional[tuple]:
+    """``[HOST:]PORT`` -> ``(host, port)``; ``None`` when unparseable."""
+    host, sep, port_text = text.rpartition(":")
+    if not sep:
+        host, port_text = "", text
+    try:
+        port = int(port_text)
+    except ValueError:
+        return None
+    if not 0 <= port <= 65535:
+        return None
+    return (host or "127.0.0.1", port)
+
+
+def _start_listener(args: argparse.Namespace, listen: tuple, store):
+    from repro.server import run_in_thread
+
+    host, port = listen
+    handle = run_in_thread(
+        store,
+        host,
+        port,
+        backend=args.backend,
+        auth_token=args.auth_token,
+        log_stream=None if args.no_request_log else sys.stderr,
+    )
+    print(f"serving on {handle.url}", file=sys.stderr)
+    return handle
+
+
+def _listen_wait(args: argparse.Namespace) -> None:
+    """Block while the HTTP listener serves (bounded by ``--listen-for``)."""
+    try:
+        if args.listen_for is not None:
+            time.sleep(args.listen_for)
+        else:  # pragma: no cover - interactive serve-until-interrupted
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:  # pragma: no cover
+        pass
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.errors import StalePublishError
     from repro.serving import TruthService, TruthStore
 
+    listen = None
+    if args.listen is not None:
+        listen = _parse_listen(args.listen)
+        if listen is None:
+            print(
+                f"--listen expects [HOST:]PORT, got {args.listen!r}",
+                file=sys.stderr,
+            )
+            return 2
     source = Path(args.source)
     methods = args.method or ["AccuSim"]
     kwargs = _method_kwargs(args)
-    store = TruthStore()
+
+    if source.is_file() and source.suffix == ".json":
+        # A prebuilt store: nothing to solve, just answer traffic from it.
+        if listen is None:
+            print(
+                f"{source} looks like a store JSON; serving it needs "
+                "--listen [HOST:]PORT (use `query` for one-shot reads)",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            store = TruthStore.load(source)
+        except (OSError, ValueError, KeyError) as error:
+            print(f"cannot read store {source}: {error}", file=sys.stderr)
+            return 2
+        with _start_listener(args, listen, store):
+            _listen_wait(args)
+        return 0
 
     if args.stream and not source.is_dir():
         print(
@@ -221,66 +301,99 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     cross_shard = _sharding_mode(args)
     if cross_shard is None:
         return 2
-    if source.is_dir():
-        # Incremental serve: every daily CSV becomes the next store version.
-        # With --shards K each day is diff-compiled by K per-shard series
-        # compilers (sharded streaming straight into the persisted store).
-        paths = sorted(source.glob("*.csv"))
-        if not paths:
-            print(f"no claim CSVs found in {source}", file=sys.stderr)
-            return 1
-        with TruthService(
-            methods,
-            {name: dict(kwargs) for name in methods} if kwargs else None,
-            workers=args.workers,
-            store=store,
-            shards=args.shards,
-            cross_shard=cross_shard,
-        ) as service:
-            for path in paths:
-                version = service.ingest(read_claims_csv(path))
-                store.save(args.store)
-                print(
-                    f"{store.day}: version {version}, "
-                    f"{store.n_items} items -> {args.store}",
-                    file=sys.stderr,
-                )
-    elif source.is_file():
-        dataset = read_claims_csv(source)
-        if args.shards > 1:
-            from repro.core.shard import ShardedCorpus, ShardPlan
-
-            corpus = ShardedCorpus(
-                dataset,
-                args.shards,
-                cross_shard=cross_shard,
-            )
-            plan = ShardPlan(
-                corpus, methods, {name: dict(kwargs) for name in methods}
-            )
-            store.publish_plan(plan.run(workers=args.workers))
-        else:
-            from repro.parallel import solve_methods
-
-            outcomes = solve_methods(
-                FusionProblem(dataset),
+    # Live listeners get a monotonic store: the publish loop is exactly
+    # where a delayed re-publish of an older day would otherwise silently
+    # overwrite a newer snapshot under concurrent readers.
+    store = TruthStore(monotonic_days=listen is not None)
+    handle = _start_listener(args, listen, store) if listen else None
+    try:
+        if source.is_dir():
+            # Incremental serve: every daily CSV becomes the next store
+            # version.  With --shards K each day is diff-compiled by K
+            # per-shard series compilers (sharded streaming straight into
+            # the persisted store).
+            paths = sorted(source.glob("*.csv"))
+            if not paths:
+                print(f"no claim CSVs found in {source}", file=sys.stderr)
+                return 1
+            with TruthService(
                 methods,
+                {name: dict(kwargs) for name in methods} if kwargs else None,
                 workers=args.workers,
-                method_kwargs={name: dict(kwargs) for name in methods},
+                store=store,
+                shards=args.shards,
+                cross_shard=cross_shard,
+            ) as service:
+                for path in paths:
+                    try:
+                        version = service.ingest(read_claims_csv(path))
+                    except StalePublishError as error:
+                        print(
+                            f"warning: skipping {path.name}: {error}",
+                            file=sys.stderr,
+                        )
+                        continue
+                    store.save(args.store)
+                    if handle is not None:
+                        step = service.runner.steps[-1]
+                        handle.broadcast("day", {
+                            "day": step.day,
+                            "version": version,
+                            "compile_s": round(step.compile_seconds, 4),
+                            "rounds": {
+                                name: result.rounds
+                                for name, result in step.results.items()
+                            },
+                        })
+                    print(
+                        f"{store.day}: version {version}, "
+                        f"{store.n_items} items -> {args.store}",
+                        file=sys.stderr,
+                    )
+        elif source.is_file():
+            dataset = read_claims_csv(source)
+            if args.shards > 1:
+                from repro.core.shard import ShardedCorpus, ShardPlan
+
+                corpus = ShardedCorpus(
+                    dataset,
+                    args.shards,
+                    cross_shard=cross_shard,
+                )
+                plan = ShardPlan(
+                    corpus, methods, {name: dict(kwargs) for name in methods}
+                )
+                store.publish_plan(plan.run(workers=args.workers))
+            else:
+                from repro.parallel import solve_methods
+
+                outcomes = solve_methods(
+                    FusionProblem(dataset),
+                    methods,
+                    workers=args.workers,
+                    method_kwargs={name: dict(kwargs) for name in methods},
+                )
+                store.publish(
+                    dataset.day,
+                    {name: o.result for name, o in zip(methods, outcomes)},
+                )
+            store.save(args.store)
+            print(
+                f"{store.day}: version {store.version}, {store.n_items} items, "
+                f"methods: {', '.join(store.methods)} -> {args.store}",
+                file=sys.stderr,
             )
-            store.publish(
-                dataset.day,
-                {name: o.result for name, o in zip(methods, outcomes)},
+        else:
+            print(
+                f"{source} is neither a claims CSV nor a directory",
+                file=sys.stderr,
             )
-        store.save(args.store)
-        print(
-            f"{store.day}: version {store.version}, {store.n_items} items, "
-            f"methods: {', '.join(store.methods)} -> {args.store}",
-            file=sys.stderr,
-        )
-    else:
-        print(f"{source} is neither a claims CSV nor a directory", file=sys.stderr)
-        return 2
+            return 2
+        if handle is not None:
+            _listen_wait(args)
+    finally:
+        if handle is not None:
+            handle.stop()
     return 0
 
 
@@ -416,8 +529,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="fuse claims into a queryable truth-store JSON file",
     )
     serve.add_argument("source",
-                       help="claims CSV, or a directory of per-day CSVs "
-                            "(each day becomes the next store version)")
+                       help="claims CSV, a directory of per-day CSVs (each "
+                            "day becomes the next store version), or an "
+                            "existing store JSON to serve with --listen")
     serve.add_argument("--method", action="append", choices=METHOD_NAMES,
                        help="method(s) to publish (repeatable; default: AccuSim)")
     serve.add_argument("--store", default="truth_store.json",
@@ -442,6 +556,28 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--engine", choices=("numpy", "native"), default=None,
                        help="fixed-point execution engine (default: "
                             "REPRO_ENGINE env var, then numpy)")
+    serve.add_argument("--listen", metavar="[HOST:]PORT", default=None,
+                       help="also serve the store over HTTP (asyncio "
+                            "front-end: /health /lookup /trust /ensemble "
+                            "/dump /events); the listener starts before the "
+                            "solves so publishes are visible live")
+    serve.add_argument("--listen-for", type=float, default=None,
+                       metavar="SECONDS",
+                       help="stop the HTTP listener after this many seconds "
+                            "(default: serve until interrupted)")
+    serve.add_argument("--auth-token", default=None,
+                       help="require this bearer token (Authorization: "
+                            "Bearer or X-API-Token) on every endpoint "
+                            "except /health")
+    serve.add_argument("--backend", choices=("stdlib", "starlette"),
+                       default="stdlib",
+                       help="HTTP backend for --listen; starlette/uvicorn "
+                            "is an optional fast path that falls back to "
+                            "the stdlib server with a warning when the "
+                            "packages are missing")
+    serve.add_argument("--no-request-log", action="store_true",
+                       help="disable the structured JSON request log "
+                            "emitted to stderr while listening")
     serve.set_defaults(func=_cmd_serve)
 
     query = sub.add_parser(

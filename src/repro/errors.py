@@ -38,3 +38,13 @@ class ConvergenceError(FusionError):
 
 class GoldStandardError(ReproError):
     """The gold standard could not be constructed (e.g. no authority votes)."""
+
+
+class StalePublishError(FusionError):
+    """A monotonic :class:`~repro.serving.TruthStore` rejected an older day.
+
+    Raised only when the store was built with ``monotonic_days=True`` and a
+    publish carries a day that sorts before the currently-published one —
+    the delayed re-publish of an old snapshot that would otherwise silently
+    overwrite newer truths under a live publish loop.
+    """

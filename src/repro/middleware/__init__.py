@@ -1,0 +1,114 @@
+"""Composable request middleware for the HTTP truth-serving front-end.
+
+The front-end (:mod:`repro.server`) models a request pipeline the way ASGI
+frameworks do, but over two small dataclasses instead of a framework:
+
+* :class:`Request` / :class:`Response` — one parsed HTTP exchange.  A
+  response either carries ``body`` bytes (sent with ``Content-Length``) or
+  an async ``stream`` of chunks (sent with ``Transfer-Encoding: chunked`` —
+  the bulk-dump and SSE endpoints).
+* a **handler** is ``async def handler(request) -> Response``;
+* a **middleware** is a callable taking a handler and returning a wrapped
+  handler — :func:`compose` folds a sequence of them around the innermost
+  route dispatch, outermost first, so ``compose([a, b], h)`` runs
+  ``a -> b -> h``.
+
+The two shipped middlewares mirror the Agent-Server exemplar's
+``auth_middleware`` / ``logging_middleware`` pair: :func:`token_auth`
+(:mod:`repro.middleware.auth`) rejects unauthenticated requests before any
+route code runs, and :func:`request_logging` (:mod:`repro.middleware.logging`)
+emits one structured JSON line per request on the way back out.  Both are
+plain middleware values — custom ones compose exactly the same way.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import (
+    AsyncIterator,
+    Awaitable,
+    Callable,
+    Dict,
+    Optional,
+    Sequence,
+)
+
+__all__ = [
+    "Request",
+    "Response",
+    "Handler",
+    "Middleware",
+    "compose",
+    "json_response",
+    "token_auth",
+    "request_logging",
+]
+
+#: Reason phrases for the statuses the front-end emits.
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    401: "Unauthorized",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    500: "Internal Server Error",
+}
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request (headers lower-cased, query decoded)."""
+
+    method: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    http_version: str = "1.1"
+
+
+@dataclass
+class Response:
+    """One HTTP response: either ``body`` bytes or a chunked ``stream``."""
+
+    status: int = 200
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+    #: When set, the body is streamed chunk by chunk (``Transfer-Encoding:
+    #: chunked``) and ``body`` is ignored — bulk dumps and SSE.
+    stream: Optional[AsyncIterator[bytes]] = None
+
+    @property
+    def reason(self) -> str:
+        return REASONS.get(self.status, "Unknown")
+
+
+Handler = Callable[[Request], Awaitable[Response]]
+Middleware = Callable[[Handler], Handler]
+
+
+def compose(middlewares: Sequence[Middleware], handler: Handler) -> Handler:
+    """Fold ``middlewares`` around ``handler``, outermost first."""
+    for middleware in reversed(middlewares):
+        handler = middleware(handler)
+    return handler
+
+
+def json_response(
+    payload: object,
+    status: int = 200,
+    headers: Optional[Dict[str, str]] = None,
+) -> Response:
+    """A UTF-8 ``application/json`` response."""
+    merged = {"Content-Type": "application/json; charset=utf-8"}
+    if headers:
+        merged.update(headers)
+    return Response(
+        status=status,
+        headers=merged,
+        body=json.dumps(payload, ensure_ascii=False).encode("utf-8"),
+    )
+
+
+from repro.middleware.auth import token_auth  # noqa: E402
+from repro.middleware.logging import request_logging  # noqa: E402

@@ -1,0 +1,73 @@
+"""Structured request logging: one JSON line per request.
+
+Each completed request emits a single machine-parseable line —
+
+``{"ts": ..., "method": "GET", "path": "/lookup", "status": 200,``
+``"duration_ms": 0.21, "bytes": 94, "version": 7}``
+
+— where ``version`` is the store version the answer came from (the
+``X-Store-Version`` header the route handlers stamp), so serve logs can be
+joined against the publish history.  For streamed responses (``/dump``,
+``/events``) the duration covers the handler that *opened* the stream, not
+the streaming itself, and ``bytes`` is -1; the line is written when the
+response object is produced so a long-lived SSE subscription is still
+logged at accept time.
+
+The sink is any ``write()``-able text stream (default ``sys.stderr``);
+exceptions from the wrapped handler are logged as status 500 and re-raised
+for the server's error path to render.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import Optional, TextIO
+
+from repro.middleware import Handler, Middleware, Request
+
+__all__ = ["request_logging"]
+
+
+def request_logging(stream: Optional[TextIO] = None) -> Middleware:
+    """Log every request as a JSON line to ``stream`` (default stderr)."""
+
+    def middleware(handler: Handler) -> Handler:
+        async def logged(request: Request):
+            sink = stream if stream is not None else sys.stderr
+            started = time.perf_counter()
+            status = 500
+            response = None
+            try:
+                response = await handler(request)
+                status = response.status
+                return response
+            finally:
+                record = {
+                    "ts": time.time(),
+                    "method": request.method,
+                    "path": request.path,
+                    "status": status,
+                    "duration_ms": round(
+                        (time.perf_counter() - started) * 1e3, 3
+                    ),
+                    "bytes": (
+                        -1
+                        if response is None or response.stream is not None
+                        else len(response.body)
+                    ),
+                }
+                if response is not None:
+                    version = response.headers.get("X-Store-Version")
+                    if version is not None:
+                        record["version"] = int(version)
+                try:
+                    sink.write(json.dumps(record) + "\n")
+                    sink.flush()
+                except (OSError, ValueError):
+                    pass  # a dead log sink must never fail the request
+
+        return logged
+
+    return middleware

@@ -30,12 +30,14 @@ from the file without ever re-solving.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.records import DataItem, Value
-from repro.errors import FusionError
+from repro.errors import FusionError, StalePublishError
 from repro.io import PathLike, _decode_value, _encode_value
 
 __all__ = [
@@ -61,6 +63,11 @@ def merge_shard_trust(
     stream merge (:class:`repro.streaming.StreamRunner`), so the two paths
     cannot drift apart.
     """
+    if weights is not None and len(weights) < len(trusts):
+        raise FusionError(
+            f"merge_shard_trust got {len(trusts)} shard trust maps but only "
+            f"{len(weights)} weight maps; every shard needs its weights"
+        )
     weighted: Dict[str, float] = {}
     weight_sum: Dict[str, float] = {}
     plain_sum: Dict[str, float] = {}
@@ -120,11 +127,22 @@ class StoreSnapshot:
 
 
 class TruthStore:
-    """A versioned, queryable store of fused truths (see module docstring)."""
+    """A versioned, queryable store of fused truths (see module docstring).
 
-    def __init__(self):
+    With ``monotonic_days=True`` publishes must carry nondecreasing days
+    (lexicographic order — days are ISO-date-like strings): a delayed
+    re-publish of an older day raises :class:`~repro.errors.StalePublishError`
+    instead of silently overwriting a newer snapshot.  The HTTP front-end
+    (:mod:`repro.server`) enables it, because its publish loop is exactly
+    where out-of-order completion is real.  Re-publishing the *same* day is
+    always allowed (it is how a day's refreshed solve lands).
+    """
+
+    def __init__(self, *, monotonic_days: bool = False):
         self._snapshot = StoreSnapshot(version=0)
         self._lock = threading.Lock()
+        self._monotonic_days = bool(monotonic_days)
+        self._listeners: List[Callable[[StoreSnapshot], None]] = []
 
     # ---------------------------------------------------------------- reads
     def snapshot(self) -> StoreSnapshot:
@@ -231,6 +249,16 @@ class TruthStore:
         return snap.trust.get(method, {}).get(source_id)
 
     # --------------------------------------------------------------- writes
+    def add_listener(self, callback: Callable[[StoreSnapshot], None]) -> None:
+        """Register ``callback(snapshot)`` invoked after every publish.
+
+        Callbacks run under the publish lock so they observe versions in
+        order; keep them cheap (the HTTP front-end bridges into its event
+        loop with ``call_soon_threadsafe`` and returns immediately).
+        """
+        with self._lock:
+            self._listeners.append(callback)
+
     def _swap(
         self,
         day: Optional[str],
@@ -239,14 +267,28 @@ class TruthStore:
         trust: Dict[str, Dict[str, float]],
     ) -> int:
         with self._lock:
+            current = self._snapshot
+            if (
+                self._monotonic_days
+                and day is not None
+                and current.day is not None
+                and day < current.day
+            ):
+                raise StalePublishError(
+                    f"publish of day {day!r} rejected: the store already "
+                    f"serves day {current.day!r} (version {current.version}) "
+                    "and was built with monotonic_days=True"
+                )
             snapshot = StoreSnapshot(
-                version=self._snapshot.version + 1,
+                version=current.version + 1,
                 day=day,
                 methods=tuple(methods),
                 truths=truths,
                 trust=trust,
             )
             self._snapshot = snapshot
+            for listener in self._listeners:
+                listener(snapshot)
             return snapshot.version
 
     def publish(self, day: Optional[str], results: Dict[str, object]) -> int:
@@ -280,6 +322,25 @@ class TruthStore:
         if not shard_results:
             raise FusionError("publish_shards needs at least one shard")
         methods = list(shard_results[0])
+        # Validate the full cross-product up front: a shard missing a method
+        # (partial shard failure) must fail the publish cleanly before any
+        # state is assembled, not as a bare KeyError halfway through.
+        for index, results in enumerate(shard_results):
+            for method in methods:
+                if method not in results:
+                    raise FusionError(
+                        f"shard {index} is missing method {method!r}: every "
+                        "shard must carry the same methods "
+                        f"(shard 0 published {methods!r}); refusing the "
+                        "partial publish"
+                    )
+            for method in results:
+                if method not in methods:
+                    raise FusionError(
+                        f"shard {index} carries extra method {method!r} "
+                        f"absent from shard 0 ({methods!r}); refusing the "
+                        "inconsistent publish"
+                    )
         truths: Dict[ItemKey, Dict[str, Value]] = {}
         trust: Dict[str, Dict[str, float]] = {}
         for method in methods:
@@ -309,7 +370,13 @@ class TruthStore:
 
     # -------------------------------------------------------------- persist
     def save(self, path: PathLike) -> None:
-        """Serialize the current snapshot to JSON (the ``cli serve`` output)."""
+        """Serialize the current snapshot to JSON (the ``cli serve`` output).
+
+        The write is atomic: the payload lands in a temporary file in the
+        target's directory and is :func:`os.replace`\\ d over ``path``, so a
+        crash mid-write can never leave a torn store behind — readers (and
+        ``cli query``) see either the previous complete file or the new one.
+        """
         snap = self._snapshot
         payload = {
             "version": snap.version,
@@ -328,8 +395,21 @@ class TruthStore:
             ],
             "trust": snap.trust,
         }
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2)
+        target = os.fspath(path)
+        directory = os.path.dirname(target) or "."
+        fd, tmp_path = tempfile.mkstemp(
+            dir=directory, prefix=os.path.basename(target) + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2)
+            os.replace(tmp_path, target)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
 
     @classmethod
     def load(cls, path: PathLike) -> "TruthStore":

@@ -1,6 +1,10 @@
 """The repro.cli command-line interface."""
 
+import http.client
 import json
+import socket
+import threading
+import time
 import warnings
 
 import pytest
@@ -394,6 +398,125 @@ class TestServeAndQuery:
         assert main([
             "serve", str(empty), "--store", str(tmp_path / "s.json"),
         ]) == 1
+
+
+class TestServeListen:
+    """`serve --listen`: the CLI front door to the asyncio server."""
+
+    def _free_port(self):
+        sock = socket.socket()
+        sock.bind(("127.0.0.1", 0))
+        port = sock.getsockname()[1]
+        sock.close()
+        return port
+
+    def _get(self, port, path, headers=None):
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=5)
+        try:
+            conn.request("GET", path, headers=headers or {})
+            response = conn.getresponse()
+            body = response.read()
+            return response.status, json.loads(body) if body else None
+        finally:
+            conn.close()
+
+    def _wait_for_version(self, port, version, headers=None, timeout=10):
+        deadline = time.time() + timeout
+        while time.time() < deadline:
+            try:
+                status, body = self._get(port, "/health", headers=headers)
+                if status == 200 and body["version"] >= version:
+                    return body
+            except OSError:
+                pass
+            time.sleep(0.02)
+        raise AssertionError(f"server never reached version {version}")
+
+    def _serve_in_thread(self, argv):
+        result = {}
+
+        def run():
+            result["code"] = main(argv)
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        return thread, result
+
+    def test_listen_serves_days_live_then_exits(self, tmp_path):
+        days = tmp_path / "days"
+        days.mkdir()
+        for index, value in enumerate((10.0, 11.0)):
+            ds = build_dataset(
+                {
+                    ("s1", "o1", "price"): value,
+                    ("s2", "o1", "price"): value,
+                },
+                day=f"d{index}",
+            )
+            write_claims_csv(ds, days / f"0{index}.csv")
+        port = self._free_port()
+        store = tmp_path / "store.json"
+        thread, result = self._serve_in_thread([
+            "serve", str(days), "--method", "Vote",
+            "--store", str(store),
+            "--listen", f"127.0.0.1:{port}",
+            "--listen-for", "1.5", "--no-request-log",
+        ])
+        try:
+            health = self._wait_for_version(port, 2)
+            assert health["day"] == "d1"
+            status, body = self._get(
+                port, "/lookup?object=o1&attribute=price"
+            )
+            assert status == 200
+            assert body["value"] == 11.0 and body["version"] == 2
+        finally:
+            thread.join(15)
+        assert result["code"] == 0
+        assert json.loads(store.read_text())["version"] == 2
+
+    def test_listen_serves_prebuilt_store_json(self, claims_csv, tmp_path):
+        store = tmp_path / "store.json"
+        assert main([
+            "serve", str(claims_csv), "--method", "Vote",
+            "--store", str(store),
+        ]) == 0
+        port = self._free_port()
+        thread, result = self._serve_in_thread([
+            "serve", str(store),
+            "--listen", f"127.0.0.1:{port}",
+            "--listen-for", "1.5", "--no-request-log",
+            "--auth-token", "sekret",
+        ])
+        try:
+            headers = {"Authorization": "Bearer sekret"}
+            self._wait_for_version(port, 1, headers=headers)
+            status, _ = self._get(port, "/lookup?object=o1&attribute=price")
+            assert status == 401  # token required off the /health path
+            status, body = self._get(
+                port, "/lookup?object=o1&attribute=price", headers=headers
+            )
+            assert status == 200 and body["value"] == 10.0
+        finally:
+            thread.join(15)
+        assert result["code"] == 0
+
+    def test_store_json_without_listen_is_an_error(self, claims_csv, tmp_path, capsys):
+        store = tmp_path / "store.json"
+        assert main([
+            "serve", str(claims_csv), "--store", str(store),
+        ]) == 0
+        assert main(["serve", str(store)]) == 2
+        assert "--listen" in capsys.readouterr().err
+
+    def test_listen_rejects_malformed_addresses(self, claims_csv, tmp_path, capsys):
+        store = tmp_path / "s.json"
+        for bad in ("notaport", "127.0.0.1:notaport", "127.0.0.1:99999"):
+            assert main([
+                "serve", str(claims_csv), "--store", str(store),
+                "--listen", bad,
+            ]) == 2
+            assert "--listen expects" in capsys.readouterr().err
 
 
 class TestExportDemo:

@@ -1,5 +1,6 @@
 """The truth-serving layer: versioned stores, shard merges, refresh safety."""
 
+import json
 import threading
 
 import pytest
@@ -7,10 +8,10 @@ import pytest
 from repro.core.delta import ClaimDelta
 from repro.core.records import Claim, DataItem
 from repro.core.shard import ShardedCorpus, ShardPlan
-from repro.errors import FusionError
+from repro.errors import FusionError, StalePublishError
 from repro.fusion.base import FusionResult
 from repro.fusion.registry import make_method
-from repro.serving import TruthService, TruthStore
+from repro.serving import TruthService, TruthStore, merge_shard_trust
 
 from tests.helpers import build_dataset
 
@@ -106,6 +107,83 @@ class TestTruthStoreBasics:
         assert loaded.lookup("o3", "gate").value == "A1"
         assert loaded.trust("s2") == 0.4
 
+    def test_save_load_round_trip_unicode_and_numeric_values(self, tmp_path):
+        """String values (incl. non-ASCII and number-shaped strings) and
+        float values must keep their exact type and content through JSON."""
+        store = TruthStore()
+        store.publish("día-☀", {
+            "Vote": _result(
+                "Vote",
+                {
+                    ("café", "城市"): "Zürich ☕",
+                    ("o1", "price"): 10.5,
+                    ("o2", "code"): "10.5",      # string that looks numeric
+                    ("o3", "tiny"): 1.25e-300,   # round-trips via repr
+                    ("o4", "neg"): -0.0,
+                },
+                {"søurce-π": 0.75},
+            ),
+        })
+        path = tmp_path / "störe.json"
+        store.save(path)
+        loaded = TruthStore.load(path)
+        assert loaded.day == "día-☀"
+        assert loaded.lookup("café", "城市").value == "Zürich ☕"
+        assert loaded.lookup("o1", "price").value == 10.5
+        value = loaded.lookup("o2", "code").value
+        assert value == "10.5" and isinstance(value, str)
+        assert loaded.lookup("o3", "tiny").value == 1.25e-300
+        assert str(loaded.lookup("o4", "neg").value) == "-0.0"
+        assert loaded.trust("søurce-π") == 0.75
+
+    def test_crash_mid_save_leaves_previous_file_intact(
+        self, tmp_path, monkeypatch
+    ):
+        """A kill mid-save must never tear the store file on disk."""
+        path = tmp_path / "store.json"
+        store = TruthStore()
+        store.publish("d0", {
+            "Vote": _result("Vote", {("o1", "price"): 1.0}, {"s1": 0.9}),
+        })
+        store.save(path)
+        good = path.read_text(encoding="utf-8")
+
+        def dying_dump(payload, handle, **kwargs):
+            handle.write('{"version": 99, "day": "torn')  # partial write ...
+            raise KeyboardInterrupt("killed mid-save")    # ... then the kill
+
+        store.publish("d1", {
+            "Vote": _result("Vote", {("o1", "price"): 2.0}, {"s1": 0.1}),
+        })
+        monkeypatch.setattr("repro.serving.json.dump", dying_dump)
+        with pytest.raises(KeyboardInterrupt):
+            store.save(path)
+        monkeypatch.undo()
+        # The previous complete file is still what readers load ...
+        assert path.read_text(encoding="utf-8") == good
+        assert TruthStore.load(path).lookup("o1", "price").value == 1.0
+        # ... no temp debris survived, and a retry succeeds atomically.
+        assert [p.name for p in tmp_path.iterdir()] == ["store.json"]
+        store.save(path)
+        assert TruthStore.load(path).lookup("o1", "price").value == 2.0
+
+    def test_ensemble_tie_break_order_is_publish_order(self):
+        """Ties break toward the earliest *published* method, not name
+        order — pinned so the serving contract cannot drift silently."""
+        store = TruthStore()
+        store.publish("d0", {
+            "Zebra": _result("Zebra", {("o1", "price"): 7.0}, {}),
+            "Alpha": _result("Alpha", {("o1", "price"): 3.0}, {}),
+        })
+        assert store.ensemble("o1", "price").value == 7.0
+        # Three-way tie: still the first of the publish order.
+        store.publish("d1", {
+            "M2": _result("M2", {("o1", "price"): 2.0}, {}),
+            "M1": _result("M1", {("o1", "price"): 1.0}, {}),
+            "M3": _result("M3", {("o1", "price"): 3.0}, {}),
+        })
+        assert store.ensemble("o1", "price").value == 2.0
+
 
 class TestShardedPublish:
     def test_shard_truths_union_and_trust_merges_by_weight(self):
@@ -123,6 +201,42 @@ class TestShardedPublish:
         # Without weights the merge is a plain mean.
         store.publish_shards("d1", shard_results)
         assert store.trust("s1") == pytest.approx(0.5)
+
+    def test_partial_shard_publish_fails_cleanly(self):
+        """A shard missing a method must raise a clear FusionError naming
+        the shard and method — not a bare KeyError mid-publish."""
+        store = TruthStore()
+        store.publish("d0", {
+            "Vote": _result("Vote", {("o1", "price"): 1.0}, {"s1": 0.5}),
+        })
+        shard_results = [
+            {
+                "Vote": _result("Vote", {("o1", "price"): 1.0}, {}),
+                "AccuSim": _result("AccuSim", {("o1", "price"): 1.0}, {}),
+            },
+            {"Vote": _result("Vote", {("o2", "price"): 2.0}, {})},  # partial
+        ]
+        with pytest.raises(FusionError, match=r"shard 1.*'AccuSim'"):
+            store.publish_shards("d1", shard_results)
+        # The failed publish changed nothing.
+        assert store.version == 1 and store.day == "d0"
+        # A shard carrying an *extra* method is just as inconsistent.
+        with pytest.raises(FusionError, match=r"shard 1.*extra.*'Ghost'"):
+            store.publish_shards("d1", [
+                {"Vote": _result("Vote", {("o1", "price"): 1.0}, {})},
+                {
+                    "Vote": _result("Vote", {("o2", "price"): 2.0}, {}),
+                    "Ghost": _result("Ghost", {("o2", "price"): 2.0}, {}),
+                },
+            ])
+
+    def test_merge_shard_trust_rejects_short_weights(self):
+        trusts = [{"s1": 0.2}, {"s1": 0.6}]
+        with pytest.raises(FusionError, match="2 shard trust maps.*1 weight"):
+            merge_shard_trust(trusts, weights=[{"s1": 1.0}])
+        # Matching lengths still work.
+        merged = merge_shard_trust(trusts, weights=[{"s1": 1.0}, {"s1": 1.0}])
+        assert merged["s1"] == pytest.approx(0.4)
 
     def test_zero_weight_source_falls_back_to_plain_mean(self):
         store = TruthStore()
@@ -215,6 +329,40 @@ class TestRefreshSafety:
         assert store.lookup("o1", "price").value == 2.0
         assert store.lookup("o1", "price", snapshot=snap).value == 1.0
         assert store.lookup("o1", "price", snapshot=snap).version == 1
+
+
+class TestMonotonicPublishes:
+    def _publish(self, store, day, value=1.0):
+        return store.publish(day, {
+            "Vote": _result("Vote", {("o1", "price"): value}, {}),
+        })
+
+    def test_default_store_allows_out_of_order_days(self):
+        store = TruthStore()
+        self._publish(store, "2011-07-05")
+        assert self._publish(store, "2011-07-01") == 2  # legacy behaviour
+
+    def test_monotonic_store_rejects_older_day(self):
+        store = TruthStore(monotonic_days=True)
+        self._publish(store, "2011-07-05", value=5.0)
+        with pytest.raises(StalePublishError, match="2011-07-01"):
+            self._publish(store, "2011-07-01", value=1.0)
+        # The rejected publish changed nothing readers can observe.
+        assert store.version == 1
+        assert store.day == "2011-07-05"
+        assert store.lookup("o1", "price").value == 5.0
+
+    def test_monotonic_store_allows_same_day_republish_and_none_days(self):
+        store = TruthStore(monotonic_days=True)
+        self._publish(store, "2011-07-05", value=5.0)
+        assert self._publish(store, "2011-07-05", value=6.0) == 2
+        assert store.lookup("o1", "price").value == 6.0
+        # Day-less publishes are never ordered, so never rejected.
+        assert self._publish(store, None) == 3
+        assert self._publish(store, "2011-07-06") == 4
+
+    def test_stale_publish_error_is_a_fusion_error(self):
+        assert issubclass(StalePublishError, FusionError)
 
 
 class TestTruthService:
